@@ -1,0 +1,236 @@
+package warped
+
+import (
+	"testing"
+
+	"warped/internal/arch"
+	"warped/internal/baselines"
+	"warped/internal/kernels"
+	"warped/internal/sim"
+	"warped/internal/xfer"
+)
+
+// One benchmark per paper table/figure: running `go test -bench=.`
+// regenerates every evaluation result and reports it through -v output
+// or the cmd/experiments CLI. b.N loops re-run the full measurement so
+// the benchmarks also double as timing probes of the simulator itself.
+
+func BenchmarkFig1Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunFig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r.Table().String())
+		}
+	}
+}
+
+func BenchmarkFig5InstructionMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunFig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r.Table().String())
+		}
+	}
+}
+
+func BenchmarkFig8aTypeSwitchDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunFig8a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r.Table().String())
+		}
+	}
+}
+
+func BenchmarkFig8bRAWDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunFig8b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r.Table().String())
+		}
+	}
+}
+
+func BenchmarkFig9aCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunFig9a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			a4, a8, ax := r.Averages()
+			b.Logf("\n%s", r.Table().String())
+			b.ReportMetric(100*a4, "%cov4c")
+			b.ReportMetric(100*a8, "%cov8c")
+			b.ReportMetric(100*ax, "%covCross")
+		}
+	}
+}
+
+func BenchmarkFig9bReplayQOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunFig9b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			avg := r.Averages()
+			b.Logf("\n%s", r.Table().String())
+			b.ReportMetric(avg[len(avg)-1], "x-overhead-q10")
+		}
+	}
+}
+
+func BenchmarkFig10EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunFig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", r.Table().String())
+			norm := r.NormalizedTotals()
+			b.ReportMetric(norm[4], "x-warped")
+			b.ReportMetric(norm[1], "x-rnaive")
+		}
+	}
+}
+
+func BenchmarkFig11PowerEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := RunFig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p, e := r.Averages()
+			b.Logf("\n%s", r.Table().String())
+			b.ReportMetric(p, "x-power")
+			b.ReportMetric(e, "x-energy")
+		}
+	}
+}
+
+func BenchmarkFaultInjectionCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := RunCampaign("SHA", 5, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("activated=%d detected=%d crashed=%d silent=%d",
+				c.Activated, c.Detected, c.Crashed, c.Silent)
+		}
+	}
+}
+
+// Per-workload simulator throughput benchmarks: how fast the simulator
+// itself runs each kernel (useful when extending the substrate).
+func BenchmarkSimulator(b *testing.B) {
+	for _, name := range []string{"MatrixMul", "BFS", "SHA", "CUFFT"} {
+		for _, cfg := range []struct {
+			label string
+			c     arch.Config
+		}{
+			{"base", arch.PaperConfig()},
+			{"warped", arch.WarpedDMRConfig()},
+		} {
+			b.Run(name+"/"+cfg.label, func(b *testing.B) {
+				bench, err := kernels.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					g, err := sim.New(cfg.c, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					st, err := kernels.Execute(g, bench, sim.LaunchOpts{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = st.Cycles
+				}
+				b.ReportMetric(float64(cycles), "simcycles")
+			})
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out: lane
+// shuffling, idle draining, and the mapping policy.
+func BenchmarkAblation(b *testing.B) {
+	mk := func(mut func(*arch.Config)) arch.Config {
+		c := arch.WarpedDMRConfig()
+		mut(&c)
+		return c
+	}
+	cases := []struct {
+		label string
+		cfg   arch.Config
+	}{
+		{"full", mk(func(*arch.Config) {})},
+		{"no-idle-drain", mk(func(c *arch.Config) { c.IdleDrain = false })},
+		{"no-lane-shuffle", mk(func(c *arch.Config) { c.LaneShuffle = false })},
+		{"linear-mapping", mk(func(c *arch.Config) { c.Mapping = arch.MapLinear })},
+		{"cluster8", mk(func(c *arch.Config) { c.ClusterSize = 8 })},
+	}
+	for _, tc := range cases {
+		b.Run(tc.label, func(b *testing.B) {
+			bench, err := kernels.ByName("MatrixMul")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cov float64
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				g, err := sim.New(tc.cfg, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := kernels.Execute(g, bench, sim.LaunchOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cov, cycles = st.Coverage(), st.Cycles
+			}
+			b.ReportMetric(100*cov, "%cov")
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkBaselines times the five Fig. 10 approaches on one workload.
+func BenchmarkBaselines(b *testing.B) {
+	bench, err := kernels.ByName("Laplace")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcie := xfer.PCIe2x16()
+	for _, a := range baselines.Approaches {
+		b.Run(a.String(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				r, err := baselines.Evaluate(a, bench, arch.PaperConfig(), pcie)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = r.TotalS()
+			}
+			b.ReportMetric(total*1e3, "model-ms")
+		})
+	}
+}

@@ -1,0 +1,122 @@
+// Command experiments regenerates the tables and figures of the
+// Warped-DMR paper's evaluation section on the simulator.
+//
+// Usage:
+//
+//	experiments            # run everything (several minutes)
+//	experiments -fig 9a    # one figure: 1, 5, 8a, 8b, 9a, 9b, 10, 11
+//	experiments -fig table4
+//	experiments -csv       # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warped"
+	"warped/internal/experiments"
+	"warped/internal/kernels"
+	"warped/internal/stats"
+)
+
+type figure struct {
+	id    string
+	run   func() (*stats.Table, error)
+	chart func() (string, error) // optional ASCII chart form
+}
+
+func main() {
+	var (
+		figID = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, sampling, schedulers, latency); empty = all")
+		csv   = flag.Bool("csv", false, "emit CSV")
+		chart = flag.Bool("chart", false, "render ASCII charts where available")
+	)
+	flag.Parse()
+
+	figures := []figure{
+		{"1", func() (*stats.Table, error) { r, err := warped.RunFig1(); return tbl(r, err) },
+			func() (string, error) { r, err := warped.RunFig1(); return chartOf(r, err) }},
+		{"5", func() (*stats.Table, error) { r, err := warped.RunFig5(); return tbl(r, err) },
+			func() (string, error) { r, err := warped.RunFig5(); return chartOf(r, err) }},
+		{"8a", func() (*stats.Table, error) { r, err := warped.RunFig8a(); return tbl(r, err) }, nil},
+		{"8b", func() (*stats.Table, error) { r, err := warped.RunFig8b(); return tbl(r, err) }, nil},
+		{"9a", func() (*stats.Table, error) { r, err := warped.RunFig9a(); return tbl(r, err) },
+			func() (string, error) { r, err := warped.RunFig9a(); return chartOf(r, err) }},
+		{"9b", func() (*stats.Table, error) { r, err := warped.RunFig9b(); return tbl(r, err) },
+			func() (string, error) { r, err := warped.RunFig9b(); return chartOf(r, err) }},
+		{"10", func() (*stats.Table, error) { r, err := warped.RunFig10(); return tbl(r, err) },
+			func() (string, error) { r, err := warped.RunFig10(); return chartOf(r, err) }},
+		{"11", func() (*stats.Table, error) { r, err := warped.RunFig11(); return tbl(r, err) },
+			func() (string, error) { r, err := warped.RunFig11(); return chartOf(r, err) }},
+		{"table4", table4, nil},
+		{"sampling", func() (*stats.Table, error) { r, err := experiments.RunSampling(); return tbl(r, err) }, nil},
+		{"schedulers", func() (*stats.Table, error) { r, err := experiments.RunSchedulerStudy(); return tbl(r, err) }, nil},
+		{"latency", func() (*stats.Table, error) {
+			r, err := experiments.RunDetectionLatency("MatrixMul", 12, 5)
+			return tbl(r, err)
+		}, nil},
+	}
+
+	ran := false
+	for _, f := range figures {
+		if *figID != "" && f.id != *figID {
+			continue
+		}
+		ran = true
+		if *chart && f.chart != nil {
+			out, err := f.chart()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f.id, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+			continue
+		}
+		t, err := f.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *figID)
+		os.Exit(2)
+	}
+}
+
+// tabler is any experiment result that renders itself.
+type tabler interface{ Table() *stats.Table }
+
+func tbl(r tabler, err error) (*stats.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Table(), nil
+}
+
+// charter is any experiment result with an ASCII chart rendition.
+type charter interface{ Chart() string }
+
+func chartOf(r charter, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Chart(), nil
+}
+
+func table4() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Table 4: workloads (scaled-down launch parameters)",
+		Headers: []string{"benchmark", "category", "description"},
+	}
+	for _, b := range kernels.All() {
+		t.AddRow(b.Name, b.Category, b.Desc)
+	}
+	return t, nil
+}

@@ -1,0 +1,228 @@
+// Command warpsim runs one of the paper's benchmarks on the simulated
+// GPU under a chosen Warped-DMR configuration and prints its
+// statistics: cycles, IPC, utilization and instruction-type breakdowns,
+// DMR coverage, overhead counters, and a power estimate.
+//
+// Usage:
+//
+//	warpsim -bench MatrixMul -dmr full -mapping rr -replayq 10
+//	warpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"warped"
+	"warped/internal/stats"
+	"warped/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark to run (see -list)")
+		kernPath  = flag.String("kernel", "", "run a custom .asm kernel file instead of a benchmark")
+		grid      = flag.String("grid", "1x1", "custom kernel grid dims, e.g. 8x1")
+		block     = flag.String("block", "32x1", "custom kernel block dims, e.g. 128x1")
+		shared    = flag.Int("shared", 0, "custom kernel shared memory bytes per block")
+		params    = flag.String("params", "", "comma-separated uint32 kernel parameters")
+		traceOut  = flag.String("trace", "", "write a per-instruction CSV trace of a custom kernel to this file")
+		list      = flag.Bool("list", false, "list available benchmarks")
+		dmrMode   = flag.String("dmr", "off", "DMR mode: off|intra|inter|full|dmtr")
+		mapping   = flag.String("mapping", "linear", "thread-core mapping: linear|rr")
+		replayQ   = flag.Int("replayq", 10, "ReplayQ entries per SM")
+		cluster   = flag.Int("cluster", 4, "SIMT cluster size (4 or 8)")
+		sms       = flag.Int("sms", 30, "number of SMs")
+		noShuffle = flag.Bool("no-lane-shuffle", false, "disable lane shuffling on replays")
+		noDrain   = flag.Bool("no-idle-drain", false, "disable ReplayQ draining on idle units")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Table 4 workloads:")
+		for _, b := range warped.Benchmarks() {
+			fmt.Printf("  %-12s %-28s %s\n", b.Name, b.Category, b.Desc)
+		}
+		fmt.Println("Extra reference workloads:")
+		for _, b := range warped.ExtraBenchmarks() {
+			fmt.Printf("  %-12s %-28s %s\n", b.Name, b.Category, b.Desc)
+		}
+		return
+	}
+	if *benchName == "" && *kernPath == "" {
+		fmt.Fprintln(os.Stderr, "warpsim: -bench or -kernel is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := warped.PaperConfig()
+	cfg.NumSMs = *sms
+	cfg.ClusterSize = *cluster
+	cfg.ReplayQSize = *replayQ
+	cfg.LaneShuffle = !*noShuffle
+	cfg.IdleDrain = !*noDrain
+	switch strings.ToLower(*dmrMode) {
+	case "off":
+		cfg.DMR = warped.DMROff
+	case "intra":
+		cfg.DMR = warped.DMRIntra
+	case "inter":
+		cfg.DMR = warped.DMRInter
+	case "full":
+		cfg.DMR = warped.DMRFull
+	case "dmtr":
+		cfg.DMR = warped.DMRTemporalAll
+	default:
+		fmt.Fprintf(os.Stderr, "warpsim: unknown -dmr %q\n", *dmrMode)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*mapping) {
+	case "linear":
+		cfg.Mapping = warped.MapLinear
+	case "rr", "cross", "clusterrr":
+		cfg.Mapping = warped.MapClusterRR
+	default:
+		fmt.Fprintf(os.Stderr, "warpsim: unknown -mapping %q\n", *mapping)
+		os.Exit(2)
+	}
+
+	if *kernPath != "" {
+		if err := runCustom(cfg, *kernPath, *grid, *block, *shared, *params, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res, err := warped.RunBenchmark(*benchName, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
+		os.Exit(1)
+	}
+	printResult(res, cfg)
+}
+
+// runCustom assembles and launches a user-provided kernel file.
+func runCustom(cfg warped.Config, path, grid, block string, shared int, paramList, traceOut string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := warped.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	gx, gy, err := parseDims(grid)
+	if err != nil {
+		return fmt.Errorf("bad -grid: %w", err)
+	}
+	bx, by, err := parseDims(block)
+	if err != nil {
+		return fmt.Errorf("bad -block: %w", err)
+	}
+	var words []uint32
+	if paramList != "" {
+		for _, f := range strings.Split(paramList, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 0, 32)
+			if err != nil {
+				return fmt.Errorf("bad -params entry %q: %w", f, err)
+			}
+			words = append(words, uint32(v))
+		}
+	}
+	gpu, err := warped.NewGPU(cfg)
+	if err != nil {
+		return err
+	}
+	opts := warped.LaunchOpts{}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := trace.NewCSVWriter(f)
+		opts.Trace = w
+		defer func() {
+			if w.Err != nil {
+				fmt.Fprintf(os.Stderr, "warpsim: trace write: %v\n", w.Err)
+			}
+		}()
+	}
+	if prog.SharedBytes > shared {
+		shared = prog.SharedBytes // honour the kernel's .shared directive
+	}
+	st, err := gpu.Launch(&warped.Kernel{
+		Prog:  prog,
+		GridX: gx, GridY: gy, BlockX: bx, BlockY: by,
+		SharedBytes: shared,
+		Params:      warped.NewParams(words...),
+	}, opts)
+	if err != nil {
+		return err
+	}
+	printResult(&warped.Result{Stats: st, Benchmark: prog.Name + " (custom kernel, no host validation)"}, cfg)
+	return nil
+}
+
+func parseDims(s string) (int, int, error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	x, err := strconv.Atoi(parts[0])
+	if err != nil || x <= 0 {
+		return 0, 0, fmt.Errorf("bad dimension %q", s)
+	}
+	y := 1
+	if len(parts) == 2 {
+		y, err = strconv.Atoi(parts[1])
+		if err != nil || y <= 0 {
+			return 0, 0, fmt.Errorf("bad dimension %q", s)
+		}
+	}
+	return x, y, nil
+}
+
+func printResult(res *warped.Result, cfg warped.Config) {
+	st := res.Stats
+	label := res.Benchmark
+	if !strings.Contains(label, "custom kernel") {
+		label += " (validated against host reference)"
+	}
+	fmt.Printf("benchmark          %s\n", label)
+	fmt.Printf("machine            %d SMs, %d-lane clusters, mapping=%s, DMR=%s, ReplayQ=%d\n",
+		cfg.NumSMs, cfg.ClusterSize, cfg.Mapping, cfg.DMR, cfg.ReplayQSize)
+	fmt.Printf("kernel cycles      %d (%.3f ms at %.2f ns/cycle)\n",
+		st.Cycles, float64(st.Cycles)*cfg.ClockNS*1e-6, cfg.ClockNS)
+	fmt.Printf("warp instructions  %d (IPC %.2f)\n", st.WarpInstrs, st.IPC())
+	fmt.Printf("thread instrs      %d\n", st.ThreadInstrs)
+
+	af := st.ActiveFractions()
+	var ab []string
+	for i, b := range stats.ActiveBuckets {
+		ab = append(ab, fmt.Sprintf("%s:%.1f%%", b, 100*af[i]))
+	}
+	fmt.Printf("active threads     %s\n", strings.Join(ab, "  "))
+	tf := st.TypeFractions()
+	fmt.Printf("instruction types  SP:%.1f%%  SFU:%.1f%%  LD/ST:%.1f%%\n",
+		100*tf[0], 100*tf[1], 100*tf[2])
+
+	if cfg.DMR != warped.DMROff {
+		fmt.Printf("DMR coverage       %.2f%% (intra %d + inter %d of %d eligible)\n",
+			100*st.Coverage(), st.VerifiedIntra, st.VerifiedInter, st.EligibleTI)
+		fmt.Printf("DMR overhead       %d full-queue stalls, %d RAW stalls, %d co-executions, %d idle drains\n",
+			st.StallReplayQFull, st.StallRAWUnverif, st.ReplayCoexec, st.ReplayIdleDrain)
+	}
+	if st.L1Hits+st.L1Misses > 0 {
+		l1 := float64(st.L1Hits) / float64(st.L1Hits+st.L1Misses)
+		l2 := 0.0
+		if st.L2Hits+st.L2Misses > 0 {
+			l2 = float64(st.L2Hits) / float64(st.L2Hits+st.L2Misses)
+		}
+		fmt.Printf("caches             L1 %.1f%% hit (%d/%d), L2 %.1f%% hit (%d/%d)\n",
+			100*l1, st.L1Hits, st.L1Hits+st.L1Misses, 100*l2, st.L2Hits, st.L2Hits+st.L2Misses)
+	}
+	rep := warped.EstimatePower(cfg, st)
+	fmt.Printf("power estimate     %.1f W total (%.1f W dynamic), %.4f J\n",
+		rep.TotalW, rep.RuntimeW, rep.EnergyJ)
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	cases := []struct {
+		in    string
+		x, y  int
+		fails bool
+	}{
+		{"8x1", 8, 1, false},
+		{"16X16", 16, 16, false},
+		{"32", 32, 1, false},
+		{"0x4", 0, 0, true},
+		{"4x0", 0, 0, true},
+		{"", 0, 0, true},
+		{"axb", 0, 0, true},
+		{"-2x1", 0, 0, true},
+	}
+	for _, c := range cases {
+		x, y, err := parseDims(c.in)
+		if c.fails {
+			if err == nil {
+				t.Errorf("parseDims(%q) should fail", c.in)
+			}
+			continue
+		}
+		if err != nil || x != c.x || y != c.y {
+			t.Errorf("parseDims(%q) = (%d,%d,%v), want (%d,%d)", c.in, x, y, err, c.x, c.y)
+		}
+	}
+}

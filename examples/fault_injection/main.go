@@ -1,0 +1,66 @@
+// Fault injection: plant a stuck-at-1 defect in one SIMT lane's ALU
+// and watch Warped-DMR's comparators flag the mismatches, then run the
+// same fault without protection to show the silent corruption it would
+// otherwise cause.
+package main
+
+import (
+	"fmt"
+
+	"warped"
+	"warped/internal/fault"
+	"warped/internal/isa"
+)
+
+func main() {
+	// A permanent stuck-at-1 on bit 7 of SM 0 / lane 5's SP output.
+	mkFault := func() *warped.Fault {
+		return &warped.Fault{
+			Kind:     fault.StuckAt,
+			SM:       0,
+			Lane:     5,
+			Unit:     isa.UnitSP,
+			Bit:      7,
+			StuckVal: 1,
+		}
+	}
+
+	// --- With Warped-DMR: mismatches are detected. ---
+	var first *warped.ErrorEvent
+	events := 0
+	res, err := warped.RunBenchmarkWithFaults("SCAN", warped.WarpedDMRConfig(),
+		fault.NewInjector(mkFault()), func(ev warped.ErrorEvent) {
+			if first == nil {
+				f := ev
+				first = &f
+			}
+			events++
+		})
+	switch {
+	case err != nil:
+		// A corrupted value fed an address computation and ran off the
+		// end of memory: a detectable unrecoverable error, not an SDC.
+		fmt.Printf("protected run:   kernel aborted (DUE): %v\n", err)
+		fmt.Printf("                 comparators flagged %d mismatches before the abort\n", events)
+	default:
+		fmt.Printf("protected run:   %d corruptions produced, %d flagged by DMR comparators\n",
+			res.FaultsActivated, res.FaultsDetected)
+	}
+	if first != nil {
+		fmt.Printf("first detection: pc=%d thread=%d origLane=%d verifLane=%d %08x != %08x (intra=%v)\n",
+			first.PC, first.Thread, first.OrigLane, first.VerifLane,
+			first.Original, first.Redundant, first.Intra)
+	}
+
+	// --- Without protection: the same fault corrupts silently. ---
+	unprot, err := warped.RunBenchmarkWithFaults("SCAN", warped.PaperConfig(),
+		fault.NewInjector(mkFault()), nil)
+	if err != nil {
+		fmt.Printf("\nunprotected run: kernel crashed with no warning of the root cause: %v\n", err)
+	} else {
+		fmt.Printf("\nunprotected run: %d corruptions produced, %d detected — every one a silent data corruption\n",
+			unprot.FaultsActivated, unprot.FaultsDetected)
+	}
+	fmt.Println("\n(The detection granularity is a single SP: the scheduler could now")
+	fmt.Println(" re-route around lane 5 of SM 0 instead of disabling the whole SM.)")
+}

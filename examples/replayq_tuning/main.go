@@ -1,0 +1,41 @@
+// ReplayQ tuning: sweep the ReplayQ capacity on a compute-saturated
+// workload and print the overhead curve plus the hardware cost of each
+// point — the trade-off behind the paper's choice of 10 entries (~5 KB,
+// about 4% of the register file).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warped"
+	"warped/internal/core"
+)
+
+func main() {
+	const bench = "MatrixMul" // the workload with the worst inter-warp pressure
+
+	base, err := warped.RunBenchmark(bench, warped.PaperConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s without DMR: %d cycles\n\n", bench, base.Cycles)
+	fmt.Printf("%7s  %9s  %9s  %11s  %10s  %9s\n",
+		"entries", "cycles", "overhead", "full stalls", "RAW stalls", "SRAM cost")
+
+	for _, q := range []int{0, 1, 2, 5, 10, 20} {
+		cfg := warped.WarpedDMRConfig()
+		cfg.ReplayQSize = q
+		res, err := warped.RunBenchmark(bench, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d  %9d  %8.1f%%  %11d  %10d  %8.1fKB\n",
+			q, res.Cycles,
+			100*(float64(res.Cycles)/float64(base.Cycles)-1),
+			res.StallReplayQFull, res.StallRAWUnverif,
+			float64(q*core.ReplayQEntryBytes)/1024)
+	}
+	fmt.Printf("\n(one entry holds 3 source operands + the original result for all")
+	fmt.Printf("\n 32 lanes plus the opcode: %d bytes)\n", core.ReplayQEntryBytes)
+}

@@ -1,0 +1,3 @@
+module warped
+
+go 1.22

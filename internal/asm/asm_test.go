@@ -1,0 +1,377 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"warped/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAsm(t, `
+.kernel basic
+	mov  r0, %tid.x
+	iadd r1, r0, 5      ; comment
+	exit
+`)
+	if p.Name != "basic" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Instrs) != 3 {
+		t.Fatalf("got %d instrs", len(p.Instrs))
+	}
+	if p.Instrs[0].Op != isa.OpMOV || p.Instrs[0].Src[0].Reg != isa.RegTIDX {
+		t.Error("mov of special register misparsed")
+	}
+	if p.Instrs[1].Src[1].Imm != 5 {
+		t.Error("immediate misparsed")
+	}
+	if p.NumRegs != 2 {
+		t.Errorf("inferred NumRegs = %d, want 2", p.NumRegs)
+	}
+}
+
+func TestImplicitExit(t *testing.T) {
+	p := mustAsm(t, ".kernel k\n\tmov r0, 1\n")
+	last := p.Instrs[len(p.Instrs)-1]
+	if last.Op != isa.OpEXIT {
+		t.Error("assembler must append a terminating exit")
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAsm(t, `
+.kernel branches
+TOP:
+	iadd r0, r0, 1
+	setp.lt.s32 p0, r0, 10
+	@p0 bra TOP
+	bra END
+	iadd r0, r0, 100
+END:
+	exit
+`)
+	br := p.Instrs[2]
+	if br.Op != isa.OpBRA || br.Target != 0 {
+		t.Errorf("backward branch target = %d, want 0", br.Target)
+	}
+	// Backward branch defaults to fall-through reconvergence.
+	if br.Reconv != 3 {
+		t.Errorf("backward branch reconv = %d, want 3", br.Reconv)
+	}
+	fw := p.Instrs[3]
+	if fw.Target != 5 || fw.Reconv != 5 {
+		t.Errorf("forward branch (target,reconv) = (%d,%d), want (5,5)", fw.Target, fw.Reconv)
+	}
+	if fw.Pred.None != true {
+		t.Error("unconditional bra must be unguarded")
+	}
+}
+
+func TestExplicitReconvergence(t *testing.T) {
+	p := mustAsm(t, `
+.kernel ifelse
+	setp.eq.s32 p0, r0, 0
+	@p0 bra ELSE, JOIN
+	iadd r1, r1, 1
+	bra JOIN
+ELSE:
+	iadd r1, r1, 2
+JOIN:
+	exit
+`)
+	br := p.Instrs[1]
+	if br.Target != 4 || br.Reconv != 5 {
+		t.Errorf("(target,reconv) = (%d,%d), want (4,5)", br.Target, br.Reconv)
+	}
+}
+
+func TestGuards(t *testing.T) {
+	p := mustAsm(t, `
+.kernel guards
+	@p1 iadd r0, r0, 1
+	@!p7 exit
+`)
+	if g := p.Instrs[0].Pred; g.None || g.Index != 1 || g.Negate {
+		t.Errorf("@p1 guard = %+v", g)
+	}
+	if g := p.Instrs[1].Pred; g.None || g.Index != 7 || !g.Negate {
+		t.Errorf("@!p7 guard = %+v", g)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p := mustAsm(t, `
+.kernel mems
+	ld.global r1, [r2+16]
+	ld.shared r3, [r4-4]
+	ld.param r5, [8]
+	st.global [r6], r7
+	atom.add.shared r8, [r9+32], r10
+`)
+	ins := p.Instrs
+	if ins[0].Space != isa.SpaceGlobal || ins[0].Off != 16 || ins[0].Src[0].Reg != 2 {
+		t.Errorf("ld.global misparsed: %+v", ins[0])
+	}
+	if ins[1].Off != -4 {
+		t.Errorf("negative offset = %d", ins[1].Off)
+	}
+	if ins[2].Space != isa.SpaceParam || !ins[2].Src[0].IsImm || ins[2].Off != 8 {
+		t.Errorf("absolute param address misparsed: %+v", ins[2])
+	}
+	if ins[3].Op != isa.OpST || ins[3].Src[1].Reg != 7 {
+		t.Errorf("st misparsed: %+v", ins[3])
+	}
+	if ins[4].Op != isa.OpATOM || ins[4].Space != isa.SpaceShared || ins[4].Dst != 8 {
+		t.Errorf("atom misparsed: %+v", ins[4])
+	}
+}
+
+func TestFloatImmediates(t *testing.T) {
+	p := mustAsm(t, `
+.kernel floats
+	mov  r0, 1.5
+	fadd r1, r0, 2
+	fmul r2, r1, -0.25
+	mov  r3, 3f
+`)
+	if p.Instrs[0].Src[0].Imm != math.Float32bits(1.5) {
+		t.Error("1.5 literal wrong")
+	}
+	// Integer literal in FP context becomes a float value.
+	if p.Instrs[1].Src[1].Imm != math.Float32bits(2) {
+		t.Error("2 in fadd should be float32(2)")
+	}
+	if p.Instrs[2].Src[1].Imm != math.Float32bits(-0.25) {
+		t.Error("-0.25 literal wrong")
+	}
+	if p.Instrs[3].Src[0].Imm != math.Float32bits(3) {
+		t.Error("3f literal wrong")
+	}
+}
+
+func TestIntImmediates(t *testing.T) {
+	p := mustAsm(t, `
+.kernel ints
+	mov r0, -1
+	mov r1, 0x7fffffff
+	mov r2, 0xEFCDAB89
+	shl r3, r0, 31
+`)
+	if p.Instrs[0].Src[0].Imm != 0xFFFFFFFF {
+		t.Errorf("-1 = %x", p.Instrs[0].Src[0].Imm)
+	}
+	if p.Instrs[1].Src[0].Imm != 0x7fffffff {
+		t.Error("hex literal wrong")
+	}
+	if p.Instrs[2].Src[0].Imm != 0xEFCDAB89 {
+		t.Error("high hex literal wrong")
+	}
+}
+
+func TestSetpVariants(t *testing.T) {
+	p := mustAsm(t, `
+.kernel setps
+	setp.lt.s32 p0, r1, r2
+	setp.ge.u32 p1, r1, 0xFFFFFFFF
+	setp.eq.f32 p2, r1, 1.0
+`)
+	if p.Instrs[0].Cmp != isa.CmpLT || p.Instrs[0].CmpTy != isa.CmpS32 {
+		t.Error("setp.lt.s32 misparsed")
+	}
+	if p.Instrs[1].Cmp != isa.CmpGE || p.Instrs[1].CmpTy != isa.CmpU32 {
+		t.Error("setp.ge.u32 misparsed")
+	}
+	if p.Instrs[2].CmpTy != isa.CmpF32 || p.Instrs[2].Src[1].Imm != math.Float32bits(1.0) {
+		t.Error("setp f32 immediate misparsed")
+	}
+}
+
+func TestPredicateOps(t *testing.T) {
+	p := mustAsm(t, `
+.kernel preds
+	pand p0, p1, p2
+	pnot p3, p4
+	selp r0, r1, r2, p5
+`)
+	if in := p.Instrs[0]; in.PDst != 0 || in.PSrcA != 1 || in.PSrcB != 2 {
+		t.Errorf("pand misparsed: %+v", in)
+	}
+	if in := p.Instrs[1]; in.Op != isa.OpPNOT || in.PSrcA != 4 {
+		t.Errorf("pnot misparsed: %+v", in)
+	}
+	if in := p.Instrs[2]; in.Op != isa.OpSELP || in.PSrcA != 5 {
+		t.Errorf("selp misparsed: %+v", in)
+	}
+}
+
+func TestRegDirective(t *testing.T) {
+	p := mustAsm(t, ".kernel k\n.reg 10\n\tmov r3, 1\n\texit\n")
+	if p.NumRegs != 10 {
+		t.Errorf("NumRegs = %d, want 10", p.NumRegs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no kernel name", "\tmov r0, 1\n"},
+		{"unknown mnemonic", ".kernel k\n\tfrobnicate r0, r1\n"},
+		{"undefined label", ".kernel k\n\tbra NOWHERE\n"},
+		{"duplicate label", ".kernel k\nA:\n\tnop\nA:\n\texit\n"},
+		{"bad register", ".kernel k\n\tmov r99, 1\n"},
+		{"bad predicate", ".kernel k\n\tsetp.lt.s32 p9, r0, r1\n"},
+		{"wrong arity", ".kernel k\n\tiadd r0, r1\n"},
+		{"store to param", ".kernel k\n\tst.param [r0], r1\n"},
+		{"atomic on param", ".kernel k\n\tatom.add.param r0, [r1], r2\n"},
+		{"reg over declared", ".kernel k\n.reg 2\n\tmov r5, 1\n"},
+		{"bad directive", ".kernel k\n.bogus 1\n"},
+		{"bad setp form", ".kernel k\n\tsetp.lt p0, r0, r1\n"},
+		{"imm out of range", ".kernel k\n\tmov r0, 0x1FFFFFFFF\n"},
+		{"bad address", ".kernel k\n\tld.global r0, [bogus]\n"},
+		{"guard without instr", ".kernel k\n\t@p0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestErrorReportsLine(t *testing.T) {
+	_, err := Assemble(".kernel k\n\tmov r0, 1\n\tbogus r0\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ae *Error
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should cite line 3: %v", err)
+	}
+	if e, ok := err.(*Error); ok {
+		ae = e
+	}
+	if ae == nil || ae.Line != 3 {
+		t.Errorf("typed error line = %+v", ae)
+	}
+}
+
+// TestRoundTrip assembles a program, disassembles it, reassembles the
+// disassembly, and requires identical instruction encodings — the
+// assembler and disassembler must be inverse views.
+func TestRoundTrip(t *testing.T) {
+	src := `
+.kernel roundtrip
+	mov  r0, %tid.x
+	iadd r1, r0, 42
+	setp.lt.s32 p0, r1, 100
+	@p0 iadd r1, r1, 1
+	ld.global r2, [r1+8]
+	st.shared [r0], r2
+	atom.add.global r3, [r1], r2
+	fadd r4, r2, 0.5
+	selp r5, r1, r2, p0
+	pand p1, p0, p0
+	bar.sync
+	exit
+`
+	p1 := mustAsm(t, src)
+	p2 := mustAsm(t, p1.Disassemble())
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("instr counts differ: %d vs %d", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		a, b := p1.Instrs[i], p2.Instrs[i]
+		a.Line, b.Line = 0, 0
+		if a.Op == isa.OpBRA {
+			continue // disassembly prints raw PCs, not labels
+		}
+		if a != b {
+			t.Errorf("instr %d: %v != %v", i, a, b)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("not a program")
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	p := mustAsm(t, ".kernel k\nL: mov r0, 1\n\tbra L\n")
+	if p.Labels["L"] != 0 {
+		t.Errorf("label L = %d, want 0", p.Labels["L"])
+	}
+}
+
+func TestSharedDirective(t *testing.T) {
+	p := mustAsm(t, ".kernel k\n.shared 2048\n\tmov r0, 1\n\texit\n")
+	if p.SharedBytes != 2048 {
+		t.Errorf("SharedBytes = %d, want 2048", p.SharedBytes)
+	}
+	if _, err := Assemble(".kernel k\n.shared -1\n\texit\n"); err == nil {
+		t.Error("negative .shared accepted")
+	}
+}
+
+func TestAssembleModule(t *testing.T) {
+	mod, err := AssembleModule(`
+; two kernels in one file
+.kernel first
+TOP:
+	iadd r0, r0, 1
+	setp.lt.s32 p0, r0, 4
+	@p0 bra TOP
+	exit
+
+.kernel second
+.shared 64
+	mov r1, 7
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod) != 2 {
+		t.Fatalf("got %d kernels", len(mod))
+	}
+	if mod["first"] == nil || mod["second"] == nil {
+		t.Fatal("kernel names wrong")
+	}
+	if mod["first"].Labels["TOP"] != 0 {
+		t.Error("labels not scoped per kernel")
+	}
+	if mod["second"].SharedBytes != 64 {
+		t.Error(".shared not scoped per kernel")
+	}
+}
+
+func TestAssembleModuleErrors(t *testing.T) {
+	if _, err := AssembleModule(""); err == nil {
+		t.Error("empty module accepted")
+	}
+	if _, err := AssembleModule(".kernel a\n\texit\n.kernel a\n\texit\n"); err == nil {
+		t.Error("duplicate kernel name accepted")
+	}
+	// Error lines must be module-relative.
+	_, err := AssembleModule(".kernel a\n\texit\n.kernel b\n\tbogus r0\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("module error line wrong: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package baselines implements the error-detection approaches the
+// paper compares against in Fig. 10:
+//
+//   - R-Naive (Dimitrov et al.): run the whole kernel twice and compare
+//     outputs on the host — double kernel time AND double transfers.
+//   - R-Thread (Dimitrov et al.): double the thread blocks inside the
+//     kernel; redundancy hides only if SMs were idle, and the output
+//     must be copied back twice for host-side comparison.
+//   - DMTR: dual modular temporal redundancy — every instruction is
+//     re-executed on its unit in the following cycle (a 1-cycle-slack
+//     SRT), with results compared on the GPU.
+//   - Warped-DMR: the paper's approach (internal/core), comparing on
+//     the GPU with opportunistic spatial/temporal redundancy.
+package baselines
+
+import (
+	"fmt"
+
+	"warped/internal/arch"
+	"warped/internal/kernels"
+	"warped/internal/sim"
+	"warped/internal/stats"
+	"warped/internal/xfer"
+)
+
+// Approach enumerates the compared error-detection schemes.
+type Approach int
+
+const (
+	Original Approach = iota
+	RNaive
+	RThread
+	DMTR
+	WarpedDMR
+)
+
+func (a Approach) String() string {
+	switch a {
+	case Original:
+		return "Original"
+	case RNaive:
+		return "R-Naive"
+	case RThread:
+		return "R-Thread"
+	case DMTR:
+		return "DMTR"
+	case WarpedDMR:
+		return "Warped-DMR"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Approaches lists all schemes in the order Fig. 10 presents them.
+var Approaches = []Approach{Original, RNaive, RThread, DMTR, WarpedDMR}
+
+// Result is one (benchmark, approach) end-to-end evaluation.
+type Result struct {
+	Approach  Approach
+	KernelS   float64 // kernel execution seconds (simulated cycles x clock)
+	TransferS float64 // host<->device transfer seconds
+	Stats     *stats.Stats
+}
+
+// TotalS returns end-to-end seconds.
+func (r Result) TotalS() float64 { return r.KernelS + r.TransferS }
+
+// Evaluate runs the benchmark under one approach and returns its
+// end-to-end time decomposition. base must have DMR disabled; Evaluate
+// derives the per-approach configuration from it.
+func Evaluate(a Approach, bench *kernels.Benchmark, base arch.Config, pcie xfer.Model) (Result, error) {
+	cfg := base
+	cfg.DMR = arch.DMROff
+	shadow := false
+	switch a {
+	case Original, RNaive:
+		// plain machine; R-Naive differences are applied after the run
+	case RThread:
+		shadow = true
+	case DMTR:
+		cfg.DMR = arch.DMRTemporalAll
+		cfg.LaneShuffle = true
+	case WarpedDMR:
+		cfg.DMR = arch.DMRFull
+		cfg.Mapping = arch.MapClusterRR
+	}
+
+	g, err := sim.New(cfg, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	run, err := bench.Build(g)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%s: build: %w", bench.Name, a, err)
+	}
+	total := &stats.Stats{}
+	for i, step := range run.Steps {
+		k := step.Kernel
+		k.ShadowGrid = shadow
+		st, err := g.Launch(k, sim.LaunchOpts{})
+		if err != nil {
+			return Result{}, fmt.Errorf("%s/%s: launch %d: %w", bench.Name, a, i, err)
+		}
+		cycles := total.Cycles + st.Cycles
+		total.Merge(st)
+		total.Cycles = cycles
+		if step.Host != nil {
+			if err := step.Host(g); err != nil {
+				return Result{}, fmt.Errorf("%s/%s: host step %d: %w", bench.Name, a, i, err)
+			}
+		}
+	}
+	if run.Check != nil {
+		// Shadow blocks never write global memory, so even the R-Thread
+		// run must leave bit-correct outputs behind.
+		if err := run.Check(g); err != nil {
+			return Result{}, fmt.Errorf("%s/%s: validation: %w", bench.Name, a, err)
+		}
+	}
+
+	kernelS := float64(total.Cycles) * cfg.ClockNS * 1e-9
+	transferS := pcie.RoundTrip(run.InBytes, run.OutBytes)
+	switch a {
+	case RNaive:
+		// Two full kernel invocations, two full transfer round trips,
+		// plus reading both outputs back for the host compare is already
+		// included in the doubled round trip.
+		kernelS *= 2
+		transferS *= 2
+	case RThread:
+		// One upload, but both the original and redundant outputs come
+		// back for comparison on the host.
+		transferS = pcie.Time(run.InBytes) + 2*pcie.Time(run.OutBytes)
+	}
+	return Result{Approach: a, KernelS: kernelS, TransferS: transferS, Stats: total}, nil
+}
+
+// EvaluateAll runs every approach for one benchmark.
+func EvaluateAll(bench *kernels.Benchmark, base arch.Config, pcie xfer.Model) ([]Result, error) {
+	out := make([]Result, 0, len(Approaches))
+	for _, a := range Approaches {
+		r, err := Evaluate(a, bench, base, pcie)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"testing"
+
+	"warped/internal/arch"
+	"warped/internal/kernels"
+	"warped/internal/xfer"
+)
+
+func TestApproachStrings(t *testing.T) {
+	want := map[Approach]string{
+		Original: "Original", RNaive: "R-Naive", RThread: "R-Thread",
+		DMTR: "DMTR", WarpedDMR: "Warped-DMR",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+	if len(Approaches) != 5 {
+		t.Error("Fig. 10 compares five approaches")
+	}
+}
+
+// TestFig10Ordering pins the paper's qualitative result on one
+// compute-bound benchmark: R-Naive is the slowest (double kernels and
+// transfers), Warped-DMR is the cheapest detection scheme, and every
+// scheme costs at least as much as the original.
+func TestFig10Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	b, err := kernels.ByName("MatrixMul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateAll(b, arch.PaperConfig(), xfer.PCIe2x16())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[Approach]Result{}
+	for _, r := range res {
+		byName[r.Approach] = r
+	}
+	orig := byName[Original].TotalS()
+	for _, a := range []Approach{RNaive, RThread, DMTR, WarpedDMR} {
+		if byName[a].TotalS() < orig {
+			t.Errorf("%s (%.6fs) cheaper than Original (%.6fs)", a, byName[a].TotalS(), orig)
+		}
+	}
+	if byName[RNaive].TotalS() <= byName[WarpedDMR].TotalS() {
+		t.Error("R-Naive should be the most expensive scheme")
+	}
+	// R-Naive pays exactly double the original end to end.
+	if got := byName[RNaive].TotalS() / orig; got < 1.99 || got > 2.01 {
+		t.Errorf("R-Naive normalized = %.3f, want 2.0", got)
+	}
+	// Warped-DMR and DMTR pay no extra transfer (GPU-side comparison).
+	if byName[WarpedDMR].TransferS != byName[Original].TransferS {
+		t.Error("Warped-DMR must not add transfer time")
+	}
+	if byName[DMTR].TransferS != byName[Original].TransferS {
+		t.Error("DMTR must not add transfer time")
+	}
+	// R-Thread copies the output back twice.
+	if byName[RThread].TransferS <= byName[Original].TransferS {
+		t.Error("R-Thread must add output transfer time")
+	}
+}
+
+// TestRThreadHidesOnIdleSMs: BitonicSort uses one block, so its
+// redundant twin runs on an idle SM and kernel time barely moves.
+func TestRThreadHidesOnIdleSMs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	b, err := kernels.ByName("BitonicSort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcie := xfer.PCIe2x16()
+	orig, err := Evaluate(Original, b, arch.PaperConfig(), pcie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Evaluate(RThread, b, arch.PaperConfig(), pcie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := rt.KernelS / orig.KernelS; ratio > 1.10 {
+		t.Errorf("single-block R-Thread kernel ratio %.2f; redundancy should hide on idle SMs", ratio)
+	}
+}

@@ -1,0 +1,144 @@
+// Package cache implements the set-associative cache model used for
+// the GPU's L1 (per SM) and L2 (chip-wide) data caches. The simulator
+// is timing-directed: caches decide *latency*, while data always comes
+// from the flat functional memory, so the model tracks only tags.
+//
+// The Fermi-era policies modeled: allocate-on-read-miss, LRU
+// replacement, and write-through without write-allocate (stores go to
+// DRAM and do not install lines, matching Fermi's L1 behaviour for
+// global stores).
+package cache
+
+import "fmt"
+
+// Config sizes a cache.
+type Config struct {
+	Sets      int // number of sets (power of two)
+	Ways      int // associativity
+	LineBytes int // line size (power of two)
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Sets <= 0 || c.Sets&(c.Sets-1) != 0:
+		return fmt.Errorf("cache: Sets must be a positive power of two, got %d", c.Sets)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: Ways must be positive, got %d", c.Ways)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: LineBytes must be a positive power of two, got %d", c.LineBytes)
+	}
+	return nil
+}
+
+// SizeBytes returns the cache capacity.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// line is one tag-store entry.
+type line struct {
+	tag   uint32
+	valid bool
+	lru   uint64
+}
+
+// Cache is a set-associative tag store.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	clock uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// New builds a cache; panics on invalid configuration (caller bug).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr uint32) (set int, tag uint32) {
+	lineAddr := addr / uint32(c.cfg.LineBytes)
+	return int(lineAddr) & (c.cfg.Sets - 1), lineAddr / uint32(c.cfg.Sets)
+}
+
+// Lookup probes the cache without modifying state.
+func (c *Cache) Lookup(addr uint32) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access probes the cache for a read; on a miss the line is allocated
+// with LRU replacement. Returns whether it hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.clock++
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	victim := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.clock
+			c.Hits++
+			return true
+		}
+		if ways[i].lru < ways[victim].lru || !ways[i].valid && ways[victim].valid {
+			victim = i
+		}
+	}
+	// Prefer an invalid way, else the least recently used.
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, lru: c.clock}
+	c.Misses++
+	return false
+}
+
+// Invalidate drops the line containing addr if present (used by
+// write-through stores so later reads observe DRAM latency honestly
+// rather than hitting a stale tag installed by another warp's read).
+func (c *Cache) Invalidate(addr uint32) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			c.sets[set][i].valid = false
+			return
+		}
+	}
+}
+
+// HitRate returns hits / (hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Reset clears all tags and counters.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+	c.clock, c.Hits, c.Misses = 0, 0, 0
+}

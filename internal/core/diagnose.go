@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diagnoser attributes detected mismatches to a physical SP lane.
+//
+// Warped-DMR's advantage over SM- or chip-level checking (paper §3.4)
+// is detection at individual-SP granularity: with a diagnosis step, a
+// permanently faulty SP can be isolated and routed around instead of
+// disabling the whole SM. Every mismatch implicates exactly two lanes —
+// the original and the (shuffled) verifier — and because the shuffle
+// rotation varies, the genuinely faulty lane appears in *every* event
+// for its SM while its innocent partners vary. Counting appearances
+// therefore converges on the culprit after a handful of detections.
+type Diagnoser struct {
+	// MinEvents is how many detections are needed before Suspect will
+	// commit to an answer (default 4).
+	MinEvents int
+
+	counts map[[2]int]int // (sm, lane) -> implications
+	events int
+}
+
+// NewDiagnoser creates a diagnoser; feed it ErrorEvents via Observe.
+func NewDiagnoser() *Diagnoser {
+	return &Diagnoser{MinEvents: 4, counts: make(map[[2]int]int)}
+}
+
+// Observe records one detected mismatch.
+func (d *Diagnoser) Observe(ev ErrorEvent) {
+	d.events++
+	d.counts[[2]int{ev.SM, ev.OrigLane}]++
+	if ev.VerifLane != ev.OrigLane {
+		d.counts[[2]int{ev.SM, ev.VerifLane}]++
+	}
+}
+
+// Events returns how many mismatches have been observed.
+func (d *Diagnoser) Events() int { return d.events }
+
+// Suspect returns the most-implicated (SM, lane) pair. confident is
+// true when enough events accumulated and the leader is implicated in
+// a clear majority of them — the precondition for re-routing the lane.
+func (d *Diagnoser) Suspect() (sm, lane int, confident bool) {
+	if len(d.counts) == 0 {
+		return 0, 0, false
+	}
+	type entry struct {
+		key   [2]int
+		count int
+	}
+	var es []entry
+	for k, c := range d.counts {
+		es = append(es, entry{k, c})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].count != es[j].count {
+			return es[i].count > es[j].count
+		}
+		return es[i].key[0]*64+es[i].key[1] < es[j].key[0]*64+es[j].key[1]
+	})
+	top := es[0]
+	confident = d.events >= d.MinEvents && top.count*3 >= d.events*2 &&
+		(len(es) == 1 || top.count > es[1].count)
+	return top.key[0], top.key[1], confident
+}
+
+// Report renders the implication histogram for operators.
+func (d *Diagnoser) Report() string {
+	sm, lane, conf := d.Suspect()
+	verdict := "inconclusive"
+	if conf {
+		verdict = fmt.Sprintf("faulty lane: SM %d lane %d (re-route candidate)", sm, lane)
+	}
+	return fmt.Sprintf("diagnoser: %d events, %d implicated lanes, %s",
+		d.events, len(d.counts), verdict)
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"warped/internal/arch"
+	"warped/internal/exec"
+	"warped/internal/isa"
+	"warped/internal/simt"
+	"warped/internal/stats"
+)
+
+// PerturbPhys is the physical-lane fault hook used for redundant
+// executions: given the physical SIMT lane performing the computation,
+// the unit class, and the golden value, it returns the value that lane
+// actually produces. nil means fault-free hardware.
+type PerturbPhys func(physLane int, unit isa.UnitClass, golden uint32) uint32
+
+// ErrorEvent describes a detected mismatch between an original
+// execution and its redundant execution.
+type ErrorEvent struct {
+	SM        int
+	Cycle     int64 // issue cycle of the verified instruction
+	WarpGID   int
+	PC        int
+	Thread    int // logical thread slot within the warp
+	OrigLane  int // physical lane of the original execution
+	VerifLane int // physical lane of the redundant execution
+	Original  uint32
+	Redundant uint32
+	Intra     bool // detected by intra-warp (spatial) DMR
+}
+
+// IssueInfo describes one issued warp instruction to the DMR engine.
+type IssueInfo struct {
+	Rec     *exec.Record
+	WarpGID int       // unique warp identifier within the SM
+	Phys    simt.Mask // physical-lane mask of executing lanes
+	Width   int       // lanes the warp launched with
+	Cycle   int64     // SM cycle of the issue (sampling-DMR epochs)
+}
+
+// qEntry is one unverified instruction buffered in the ReplayQ.
+type qEntry struct {
+	info IssueInfo
+}
+
+// ReplayQEntryBytes is the storage for one ReplayQ entry: 32 lanes x 3
+// source operands x 4 bytes, plus 32 lanes x 4 bytes of original
+// results, plus 2-4 bytes of opcode — 514..516 bytes (paper §4.3.1).
+const ReplayQEntryBytes = 32*3*4 + 32*4 + 3
+
+// Engine is the per-SM Warped-DMR machinery: the RFU pairing logic for
+// intra-warp DMR and the Replay Checker + ReplayQ for inter-warp DMR.
+type Engine struct {
+	cfg     arch.Config
+	smID    int
+	st      *stats.Stats
+	table   *PriorityTable
+	perturb PerturbPhys
+	onError func(ErrorEvent)
+
+	intra bool
+	inter bool
+	dmtr  bool
+
+	q       []qEntry
+	pending *IssueInfo // instruction "in RF" awaiting the DEC-stage type compare
+	phase   int        // lane-shuffle rotation phase
+}
+
+// NewEngine builds the DMR engine for SM smID. st must not be nil;
+// perturb and onError may be nil.
+func NewEngine(cfg arch.Config, smID int, st *stats.Stats, perturb PerturbPhys, onError func(ErrorEvent)) *Engine {
+	e := &Engine{
+		cfg:     cfg,
+		smID:    smID,
+		st:      st,
+		table:   NewPriorityTable(cfg.ClusterSize),
+		perturb: perturb,
+		onError: onError,
+		intra:   cfg.DMR == arch.DMRIntra || cfg.DMR == arch.DMRFull,
+		inter:   cfg.DMR == arch.DMRInter || cfg.DMR == arch.DMRFull,
+		dmtr:    cfg.DMR == arch.DMRTemporalAll,
+	}
+	return e
+}
+
+// QueueLen returns the current ReplayQ occupancy.
+func (e *Engine) QueueLen() int { return len(e.q) }
+
+// QueueSizeBytes returns the ReplayQ storage in bytes for the
+// configured entry count (paper: 10 entries ~ 5 KB, 4% of a 128 KB RF).
+func (e *Engine) QueueSizeBytes() int { return e.cfg.ReplayQSize * ReplayQEntryBytes }
+
+// computable reports whether an instruction's result can be recomputed
+// by a redundant lane (i.e. it is a DMR target).
+func computable(op isa.Opcode) bool {
+	switch op {
+	case isa.OpNOP, isa.OpPAND, isa.OpPNOT, isa.OpBRA, isa.OpBAR, isa.OpEXIT:
+		return false
+	}
+	return true
+}
+
+// IdleCycle informs the engine that the SM issued nothing at cycle now.
+// All execution units are idle: the pending instruction (if any) is
+// verified for free, and every unit class may drain one ReplayQ entry.
+func (e *Engine) IdleCycle(now int64) {
+	var used [3]bool
+	if e.pending != nil {
+		used[e.pending.Rec.Unit] = true
+		e.verify(*e.pending, now)
+		e.st.ReplayCoexec++
+		e.pending = nil
+	}
+	e.drainIdleUnits(used, now)
+}
+
+// drainIdleUnits re-executes, for each unit class not marked used this
+// cycle, the oldest buffered instruction of that class — the paper's
+// "dequeued and re-executed whenever the corresponding execution unit
+// becomes available" (§3.2). Controlled by the IdleDrain ablation knob.
+func (e *Engine) drainIdleUnits(used [3]bool, now int64) {
+	if !e.cfg.IdleDrain || len(e.q) == 0 {
+		return
+	}
+	for i := 0; i < len(e.q); {
+		u := e.q[i].info.Rec.Unit
+		if used[u] {
+			i++
+			continue
+		}
+		used[u] = true
+		ent := e.q[i]
+		e.q = append(e.q[:i], e.q[i+1:]...)
+		e.verify(ent.info, now)
+		e.st.ReplayIdleDrain++
+		if used[0] && used[1] && used[2] {
+			return
+		}
+	}
+}
+
+// Issue processes one issued warp instruction and returns the number of
+// stall cycles the SM must charge (ReplayQ-full eager re-execution or
+// RAW-on-unverified verification stalls).
+func (e *Engine) Issue(info IssueInfo) (stall int) {
+	rec := info.Rec
+	if e.cfg.DMR == arch.DMROff {
+		return 0
+	}
+
+	// Control instructions occupy no SP/SFU/LDST unit: the pending
+	// instruction's unit is idle next cycle, verifying it for free.
+	if rec.Unit == isa.UnitCTRL || !computable(rec.Instr.Op) {
+		if e.pending != nil {
+			e.verify(*e.pending, info.Cycle)
+			e.st.ReplayCoexec++
+			e.pending = nil
+		}
+		return 0
+	}
+
+	eligible := int64(rec.Executing.Count())
+	e.st.EligibleTI += eligible
+
+	// Sampling DMR: outside the sampled window, resolve whatever is in
+	// flight and stop verifying new work (transients there are missed).
+	if p := e.cfg.SamplePeriod; p > 0 && info.Cycle%p >= e.cfg.SampleOn {
+		if e.pending != nil {
+			stall += e.resolvePending(rec.Unit, &[3]bool{}, info.Cycle)
+		}
+		return stall
+	}
+
+	// RAW on unverified results: a consumer may not read a value whose
+	// producer is still buffered in the ReplayQ. Verify such producers
+	// now, one stall cycle each (paper §4.3).
+	if e.inter || e.dmtr {
+		stall += e.verifyRAWProducers(info)
+	}
+
+	// A warp is fully utilized only when all hardware lanes execute;
+	// blocks narrower than the warp width always leave physical lanes
+	// idle, so they stay in intra-warp DMR territory.
+	fullMask := simt.FullMask(e.cfg.WarpSize)
+	isFull := rec.Executing == rec.Active && rec.Active == fullMask
+
+	// Resolve the pending (RF-stage) instruction against this one
+	// (DEC-stage): Algorithm 1. Track which unit classes perform a
+	// redundant execution this cycle; the rest may drain the ReplayQ.
+	var used [3]bool
+	used[rec.Unit] = true // busy with the primary execution
+	if e.pending != nil {
+		stall += e.resolvePending(rec.Unit, &used, info.Cycle)
+	}
+	e.drainIdleUnits(used, info.Cycle)
+
+	switch {
+	case e.dmtr:
+		// DMTR baseline: every instruction is replayed in the following
+		// cycle regardless of utilization; no ReplayQ.
+		e.pending = &info
+	case isFull && e.inter:
+		e.pending = &info
+	case !isFull && e.intra:
+		e.intraWarp(info)
+	}
+	return stall
+}
+
+// resolvePending applies the Replay Checker decision for the pending
+// instruction given the unit type of the instruction right behind it,
+// marking any unit class it occupies with a redundant execution.
+func (e *Engine) resolvePending(curUnit isa.UnitClass, used *[3]bool, now int64) (stall int) {
+	p := e.pending
+	e.pending = nil
+	pUnit := p.Rec.Unit
+
+	if pUnit != curUnit {
+		// Different types: the pending instruction's unit is idle next
+		// cycle; co-execute its DMR copy for free.
+		used[pUnit] = true
+		e.verify(*p, now+1)
+		e.st.ReplayCoexec++
+		return 0
+	}
+	// Same type: try to swap with a different-type ReplayQ entry.
+	if !e.dmtr {
+		for i := range e.q {
+			u := e.q[i].info.Rec.Unit
+			if u != pUnit && !used[u] {
+				ent := e.q[i]
+				e.q = append(e.q[:i], e.q[i+1:]...)
+				e.q = append(e.q, qEntry{info: *p})
+				e.st.ReplayEnq++
+				used[u] = true
+				e.verify(ent.info, now+1)
+				e.st.ReplayCoexec++
+				return 0
+			}
+		}
+		if len(e.q) < e.cfg.ReplayQSize {
+			e.q = append(e.q, qEntry{info: *p})
+			e.st.ReplayEnq++
+			return 0
+		}
+	}
+	// ReplayQ full (or absent): eager re-execution with a one-cycle
+	// pipeline stall, reusing operands still live in the pipeline.
+	e.verify(*p, now+1)
+	e.st.StallReplayQFull++
+	return 1
+}
+
+// verifyRAWProducers flushes ReplayQ entries whose destination register
+// is read by the incoming instruction of the same warp.
+func (e *Engine) verifyRAWProducers(info IssueInfo) (stall int) {
+	if len(e.q) == 0 {
+		return 0
+	}
+	reads := info.Rec.Instr.Reads()
+	if len(reads) == 0 {
+		return 0
+	}
+	kept := e.q[:0]
+	for _, ent := range e.q {
+		hit := false
+		if ent.info.WarpGID == info.WarpGID && ent.info.Rec.DstValid {
+			for _, r := range reads {
+				if r == ent.info.Rec.Dst {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			e.verify(ent.info, info.Cycle)
+			e.st.StallRAWUnverif++
+			stall++
+		} else {
+			kept = append(kept, ent)
+		}
+	}
+	e.q = kept
+	return stall
+}
+
+// Drain verifies the pending instruction and every buffered entry at
+// kernel completion (starting at cycle `at`), returning the cycles
+// consumed — one per replay, on the now-idle units.
+func (e *Engine) Drain(at int64) (cycles int) {
+	if e.pending != nil {
+		cycles++
+		e.verify(*e.pending, at+int64(cycles))
+		e.st.ReplayCoexec++
+		e.pending = nil
+	}
+	for _, ent := range e.q {
+		cycles++
+		e.verify(ent.info, at+int64(cycles))
+		e.st.ReplayIdleDrain++
+	}
+	e.q = e.q[:0]
+	return cycles
+}
+
+// intraWarp performs spatial DMR for a partially-utilized warp: idle
+// lanes re-execute active lanes' computations via the RFU pairing.
+func (e *Engine) intraWarp(info IssueInfo) {
+	rec := info.Rec
+	if rec.Executing == 0 {
+		return
+	}
+	pairs, covered := e.table.PairWarp(info.Phys, e.cfg.WarpSize)
+	e.st.VerifiedIntra += int64(covered)
+	e.st.RedundantOps[rec.Unit] += int64(len(pairs))
+	for _, p := range pairs {
+		thread := e.cfg.ThreadForLane(p.Active)
+		golden, ok := exec.Compute(rec.Instr, rec.SrcVals[0][thread], rec.SrcVals[1][thread], rec.SrcVals[2][thread])
+		if !ok {
+			continue
+		}
+		red := golden
+		if e.perturb != nil {
+			red = e.perturb(p.Idle, rec.Unit, golden)
+		}
+		if red != rec.Vals[thread] {
+			e.st.FaultsDetected++
+			if e.onError != nil {
+				e.onError(ErrorEvent{
+					SM: e.smID, Cycle: info.Cycle, WarpGID: info.WarpGID, PC: rec.PC, Thread: thread,
+					OrigLane: p.Active, VerifLane: p.Idle,
+					Original: rec.Vals[thread], Redundant: red, Intra: true,
+				})
+			}
+		}
+	}
+}
+
+// verify performs the temporal redundant execution of a buffered or
+// pending instruction, with lane shuffling so the replay runs on a
+// different physical lane than the original (hidden-error avoidance).
+func (e *Engine) verify(info IssueInfo, at int64) {
+	rec := info.Rec
+	if at < info.Cycle {
+		at = info.Cycle
+	}
+	e.phase++
+	e.st.VerifiedInter += int64(rec.Executing.Count())
+	e.st.RedundantOps[rec.Unit] += int64(rec.Executing.Count())
+	for thread := 0; thread < 32; thread++ {
+		if !rec.Executing.Has(thread) {
+			continue
+		}
+		orig := e.cfg.LaneForThread(thread)
+		verif := orig
+		if e.cfg.LaneShuffle {
+			verif = ShuffleLane(orig, e.cfg.ClusterSize, e.phase)
+		}
+		golden, ok := exec.Compute(rec.Instr, rec.SrcVals[0][thread], rec.SrcVals[1][thread], rec.SrcVals[2][thread])
+		if !ok {
+			continue
+		}
+		red := golden
+		if e.perturb != nil {
+			red = e.perturb(verif, rec.Unit, golden)
+		}
+		if red != rec.Vals[thread] {
+			e.st.FaultsDetected++
+			if e.onError != nil {
+				e.onError(ErrorEvent{
+					SM: e.smID, Cycle: at, WarpGID: info.WarpGID, PC: rec.PC, Thread: thread,
+					OrigLane: orig, VerifLane: verif,
+					Original: rec.Vals[thread], Redundant: red,
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package core implements Warped-DMR, the paper's contribution: the
+// Register Forwarding Unit pairing logic for intra-warp (spatial) DMR,
+// the Replay Checker and ReplayQ for inter-warp (temporal) DMR, lane
+// shuffling, thread-to-core mapping, and the coverage/overhead
+// bookkeeping behind Figures 9a and 9b.
+package core
+
+import (
+	"warped/internal/simt"
+)
+
+// PriorityTable gives, for each MUX (idle lane slot) in a SIMT cluster,
+// the order in which it scans lanes for an active thread to verify.
+// For cluster size 4 this reproduces paper Table 1 exactly:
+//
+//	Priority  MUX0 MUX1 MUX2 MUX3
+//	1st        0    1    2    3
+//	2nd        1    0    3    2
+//	3rd        2    3    0    1
+//	4th        3    2    1    0
+//
+// The pattern is lane = mux XOR priority, which generalizes to any
+// power-of-two cluster size (we use it for the 8-lane variant of
+// Fig. 9a) and gives each MUX a distinct scan order so pairings spread
+// uniformly across lanes.
+type PriorityTable struct {
+	size  int
+	order [][]int // [mux][priority] -> lane within cluster
+}
+
+// NewPriorityTable builds the table for a power-of-two cluster size.
+func NewPriorityTable(clusterSize int) *PriorityTable {
+	if clusterSize <= 0 || clusterSize&(clusterSize-1) != 0 {
+		panic("core: cluster size must be a positive power of two")
+	}
+	t := &PriorityTable{size: clusterSize, order: make([][]int, clusterSize)}
+	for mux := 0; mux < clusterSize; mux++ {
+		row := make([]int, clusterSize)
+		for prio := 0; prio < clusterSize; prio++ {
+			row[prio] = mux ^ prio
+		}
+		t.order[mux] = row
+	}
+	return t
+}
+
+// Size returns the cluster size the table was built for.
+func (t *PriorityTable) Size() int { return t.size }
+
+// Order returns the scan order for one MUX.
+func (t *PriorityTable) Order(mux int) []int { return t.order[mux] }
+
+// Pairing is one intra-warp DMR assignment within a cluster, in
+// cluster-relative lane numbers.
+type Pairing struct {
+	Idle   int // lane performing the redundant execution
+	Active int // lane whose computation is verified
+}
+
+// PairCluster pairs each idle lane in a cluster with an active lane
+// according to the MUX priority table. busy is the cluster-relative
+// mask of lanes executing the instruction (bit i = lane i busy).
+// Every idle MUX picks the first busy lane in its scan order; several
+// idle lanes may pick the same active lane (the paper allows more than
+// dual redundancy rather than adding suppression logic).
+func (t *PriorityTable) PairCluster(busy uint32) []Pairing {
+	var out []Pairing
+	if busy == 0 {
+		return nil
+	}
+	for mux := 0; mux < t.size; mux++ {
+		if busy&(1<<uint(mux)) != 0 {
+			continue // MUX's first priority is its own lane: it is busy
+		}
+		for _, lane := range t.order[mux] {
+			if busy&(1<<uint(lane)) != 0 {
+				out = append(out, Pairing{Idle: mux, Active: lane})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PairWarp applies PairCluster to every cluster of a physical lane
+// mask and returns warp-relative pairings plus the number of distinct
+// active lanes that received at least one verifier.
+func (t *PriorityTable) PairWarp(busy simt.Mask, warpWidth int) (pairs []Pairing, covered int) {
+	clusterMask := uint32(1)<<uint(t.size) - 1
+	var coveredMask simt.Mask
+	for base := 0; base < warpWidth; base += t.size {
+		cb := (uint32(busy) >> uint(base)) & clusterMask
+		for _, p := range t.PairCluster(cb) {
+			pairs = append(pairs, Pairing{Idle: base + p.Idle, Active: base + p.Active})
+			coveredMask |= 1 << uint(base+p.Active)
+		}
+	}
+	return pairs, coveredMask.Count()
+}
+
+// ShuffleLane returns the physical lane that redundantly executes the
+// work of `lane` during an inter-warp (temporal) replay. Shuffling is
+// confined to the lane's SIMT cluster to bound wiring (paper §3.2);
+// phase varies the rotation so repeated replays exercise different
+// pairings. For clusterSize 1 shuffling is impossible and the original
+// lane is returned.
+func ShuffleLane(lane, clusterSize, phase int) int {
+	if clusterSize <= 1 {
+		return lane
+	}
+	base := lane - lane%clusterSize
+	rot := 1 + phase%(clusterSize-1) // never 0 mod clusterSize
+	return base + (lane-base+rot)%clusterSize
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"warped/internal/baselines"
+	"warped/internal/stats"
+)
+
+// Chart renders Fig. 1 as a 100%-stacked ASCII bar chart, the way the
+// paper draws it.
+func (r *Fig1Result) Chart() string {
+	rows := make([][]float64, len(r.Fractions))
+	for i, f := range r.Fractions {
+		rows[i] = f[:]
+	}
+	return stats.Stacked("Figure 1: active-thread breakdown per benchmark",
+		r.Names, rows, stats.ActiveBuckets, 60)
+}
+
+// Chart renders Fig. 5 as a stacked chart.
+func (r *Fig5Result) Chart() string {
+	rows := make([][]float64, len(r.Fractions))
+	for i, f := range r.Fractions {
+		rows[i] = f[:]
+	}
+	return stats.Stacked("Figure 5: instruction-type breakdown per benchmark",
+		r.Names, rows, []string{"SP", "SFU", "LD/ST"}, 60)
+}
+
+// Chart renders Fig. 9a coverage as grouped bars (one row per
+// benchmark and configuration).
+func (r *Fig9aResult) Chart() string {
+	var labels []string
+	var vals []float64
+	for i, n := range r.Names {
+		labels = append(labels, n+"/4c", n+"/8c", n+"/x")
+		vals = append(vals, 100*r.Cov4[i], 100*r.Cov8[i], 100*r.CovCross[i])
+	}
+	a4, a8, ax := r.Averages()
+	labels = append(labels, "AVG/4c", "AVG/8c", "AVG/x")
+	vals = append(vals, 100*a4, 100*a8, 100*ax)
+	return stats.HBar("Figure 9a: error coverage (%)", labels, vals, 50, 100, "%.1f%%")
+}
+
+// Chart renders the Fig. 9b overhead curve per benchmark at q=10.
+func (r *Fig9bResult) Chart() string {
+	var labels []string
+	var vals []float64
+	last := len(Fig9bSizes) - 1
+	for i, n := range r.Names {
+		labels = append(labels, n)
+		vals = append(vals, r.Normalized[i][last])
+	}
+	avg := r.Averages()
+	labels = append(labels, "AVERAGE")
+	vals = append(vals, avg[last])
+	return stats.HBar(
+		fmt.Sprintf("Figure 9b: normalized cycles with ReplayQ=%d", Fig9bSizes[last]),
+		labels, vals, 50, 2.0, "%.2fx")
+}
+
+// Chart renders Fig. 10's normalized end-to-end times.
+func (r *Fig10Result) Chart() string {
+	norm := r.NormalizedTotals()
+	labels := make([]string, len(baselines.Approaches))
+	for i, a := range baselines.Approaches {
+		labels[i] = a.String()
+	}
+	return stats.HBar("Figure 10: end-to-end time normalized to Original (suite average)",
+		labels, norm, 50, 2.2, "%.2fx")
+}
+
+// Chart renders Fig. 11's power/energy pairs.
+func (r *Fig11Result) Chart() string {
+	var labels []string
+	var vals []float64
+	for i, n := range r.Names {
+		labels = append(labels, n+"/P", n+"/E")
+		vals = append(vals, r.Power[i], r.Energy[i])
+	}
+	p, e := r.Averages()
+	labels = append(labels, "AVG/P", "AVG/E")
+	vals = append(vals, p, e)
+	return stats.HBar("Figure 11: normalized power (P) and energy (E)", labels, vals, 50, 2.0, "%.2fx")
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"warped/internal/arch"
+	"warped/internal/core"
+	"warped/internal/fault"
+	"warped/internal/kernels"
+	"warped/internal/sim"
+	"warped/internal/stats"
+)
+
+// samplingBenchmarks are inter-warp-DMR-heavy workloads where the
+// sampling trade-off is visible (intra-warp DMR is free either way).
+var samplingBenchmarks = []string{"MatrixMul", "SHA", "CUFFT"}
+
+// SamplingPoint is one duty-cycle measurement.
+type SamplingPoint struct {
+	DutyPct   int
+	Coverage  float64 // fraction of eligible thread-instructions verified
+	Overhead  float64 // cycles normalized to no-DMR
+	Transient float64 // fraction of injected transients detected
+}
+
+// SamplingResult compares always-on Warped-DMR against sampling DMR
+// (Nomura et al., the paper's related-work comparison): sampling trades
+// coverage — especially of transients — for overhead.
+type SamplingResult struct {
+	Benchmarks []string
+	Points     []SamplingPoint
+}
+
+// RunSampling sweeps the DMR duty cycle with a fixed 1000-cycle epoch.
+func RunSampling() (*SamplingResult, error) {
+	duties := []int{100, 50, 25, 10}
+	const epoch = 1000
+	const transientTrials = 12
+
+	baseCycles := map[string]int64{}
+	for _, name := range samplingBenchmarks {
+		st, err := runBench(name, arch.PaperConfig(), sim.LaunchOpts{})
+		if err != nil {
+			return nil, err
+		}
+		baseCycles[name] = st.Cycles
+	}
+
+	out := &SamplingResult{Benchmarks: samplingBenchmarks}
+	for _, duty := range duties {
+		cfg := arch.WarpedDMRConfig()
+		if duty < 100 {
+			cfg.SamplePeriod = epoch
+			cfg.SampleOn = int64(epoch * duty / 100)
+		}
+		var covs, ovhs []float64
+		detected, activated := 0, 0
+		rng := rand.New(rand.NewSource(int64(duty)))
+		for _, name := range samplingBenchmarks {
+			st, err := runBench(name, cfg, sim.LaunchOpts{})
+			if err != nil {
+				return nil, err
+			}
+			covs = append(covs, st.Coverage())
+			ovhs = append(ovhs, float64(st.Cycles)/float64(baseCycles[name]))
+
+			// Transient sensitivity: one random single-event upset per
+			// trial, within the portion of the run DMR might see.
+			for trial := 0; trial < transientTrials/len(samplingBenchmarks); trial++ {
+				f := fault.RandomTransient(rng, 8, baseCycles[name])
+				f.Unit = 0 // SP, the most exercised unit
+				f.Bit = uint(rng.Intn(12))
+				inj := fault.NewInjector(f)
+				fst, err := runBench(name, cfg, sim.LaunchOpts{Fault: inj})
+				if err != nil {
+					// Address corruption aborted the kernel: a DUE, which
+					// counts as caught for this comparison.
+					if inj.Activations > 0 {
+						activated++
+						detected++
+					}
+					continue
+				}
+				if inj.Activations > 0 {
+					activated++
+					if fst.FaultsDetected > 0 {
+						detected++
+					}
+				}
+			}
+		}
+		p := SamplingPoint{DutyPct: duty, Coverage: mean(covs), Overhead: mean(ovhs)}
+		if activated > 0 {
+			p.Transient = float64(detected) / float64(activated)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// runBench executes one benchmark without validation short-circuiting
+// on fault-corrupted outputs (validation errors are only fatal for
+// fault-free runs, where they indicate simulator bugs).
+func runBench(name string, cfg arch.Config, opts sim.LaunchOpts) (*stats.Stats, error) {
+	b, err := kernels.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sim.New(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	run, err := b.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	total := &stats.Stats{}
+	for i, step := range run.Steps {
+		st, err := g.Launch(step.Kernel, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s launch %d: %w", name, i, err)
+		}
+		cycles := total.Cycles + st.Cycles
+		total.Merge(st)
+		total.Cycles = cycles
+		if step.Host != nil {
+			if err := step.Host(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if opts.Fault == nil && run.Check != nil {
+		if err := run.Check(g); err != nil {
+			return nil, fmt.Errorf("%s validation: %w", name, err)
+		}
+	}
+	return total, nil
+}
+
+// Table renders the sampling sweep.
+func (r *SamplingResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Extension: sampling DMR vs always-on Warped-DMR (avg over %v)", r.Benchmarks),
+		Headers: []string{"duty", "coverage", "overhead", "transients caught"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d%%", p.DutyPct), pct(p.Coverage), f2(p.Overhead), pct(p.Transient))
+	}
+	return t
+}
+
+// SchedulerResult measures the paper's §2.2 observation: a second warp
+// scheduler reduces (but does not eliminate) heterogeneous-unit
+// underutilization.
+type SchedulerResult struct {
+	Names   []string
+	IPC1    []float64 // one scheduler
+	IPC2    []float64 // two schedulers (Fermi-style)
+	Speedup []float64
+}
+
+// RunSchedulerStudy compares 1 vs 2 schedulers per SM with DMR off.
+func RunSchedulerStudy() (*SchedulerResult, error) {
+	one := arch.PaperConfig()
+	two := arch.PaperConfig()
+	two.NumSchedulers = 2
+	names, res1, err := runAll(one, sim.LaunchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	_, res2, err := runAll(two, sim.LaunchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	r := &SchedulerResult{Names: names}
+	for i := range names {
+		r.IPC1 = append(r.IPC1, res1[i].IPC())
+		r.IPC2 = append(r.IPC2, res2[i].IPC())
+		r.Speedup = append(r.Speedup, float64(res1[i].Cycles)/float64(res2[i].Cycles))
+	}
+	return r, nil
+}
+
+// Table renders the scheduler study.
+func (r *SchedulerResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   "Extension: one vs two warp schedulers per SM (paper §2.2), DMR off",
+		Headers: []string{"benchmark", "IPC x1", "IPC x2", "speedup"},
+	}
+	var sp []float64
+	for i, n := range r.Names {
+		t.AddRow(n, f2(r.IPC1[i]), f2(r.IPC2[i]), f2(r.Speedup[i]))
+		sp = append(sp, r.Speedup[i])
+	}
+	t.AddRow("AVERAGE", "", "", f2(mean(sp)))
+	return t
+}
+
+// LatencyResult quantifies the paper's early-detection argument (§1):
+// software schemes compare results "at the end of the program
+// execution", while Warped-DMR's comparators fire within cycles of the
+// corruption.
+type LatencyResult struct {
+	Benchmark string
+	Trials    int
+	Activated int
+	Detected  int
+	MeanDelay float64 // cycles, activation -> first comparator mismatch
+	MaxDelay  int64
+	KernelLen int64 // kernel cycles = the software end-of-run bound
+}
+
+// RunDetectionLatency injects one transient per trial under full
+// Warped-DMR and measures the activation-to-detection distance.
+func RunDetectionLatency(benchName string, trials int, seed int64) (*LatencyResult, error) {
+	b, err := kernels.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	base, err := runBench(benchName, arch.PaperConfig(), sim.LaunchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	out := &LatencyResult{Benchmark: benchName, Trials: trials, KernelLen: base.Cycles}
+
+	rng := rand.New(rand.NewSource(seed))
+	cfg := arch.WarpedDMRConfig()
+	var totalDelay int64
+	for i := 0; i < trials; i++ {
+		f := fault.RandomTransient(rng, 8, base.Cycles)
+		f.Unit = 0 // SP
+		f.Bit = uint(rng.Intn(12))
+		inj := fault.NewInjector(f)
+		var firstDetect int64 = -1
+		g, err := sim.New(cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		run, err := b.Build(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, step := range run.Steps {
+			_, err := g.Launch(step.Kernel, sim.LaunchOpts{
+				Fault: inj,
+				OnError: func(ev core.ErrorEvent) {
+					if firstDetect < 0 {
+						firstDetect = ev.Cycle
+					}
+				},
+			})
+			if err != nil {
+				break // DUE: the crash itself is the detection
+			}
+			if step.Host != nil {
+				if err := step.Host(g); err != nil {
+					break
+				}
+			}
+			if firstDetect >= 0 {
+				break
+			}
+		}
+		if inj.Activations == 0 {
+			continue
+		}
+		out.Activated++
+		if firstDetect >= 0 {
+			out.Detected++
+			d := firstDetect - inj.FirstActivation
+			if d < 0 {
+				d = 0 // detection in the same multi-launch window
+			}
+			totalDelay += d
+			if d > out.MaxDelay {
+				out.MaxDelay = d
+			}
+		}
+	}
+	if out.Detected > 0 {
+		out.MeanDelay = float64(totalDelay) / float64(out.Detected)
+	}
+	return out, nil
+}
+
+// Table renders the detection-latency measurement.
+func (r *LatencyResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title: "Extension: detection latency (cycles from corruption to comparator mismatch)",
+		Headers: []string{"benchmark", "trials", "activated", "detected",
+			"mean delay", "max delay", "end-of-kernel bound"},
+	}
+	t.AddRow(r.Benchmark,
+		fmt.Sprintf("%d", r.Trials),
+		fmt.Sprintf("%d", r.Activated),
+		fmt.Sprintf("%d", r.Detected),
+		fmt.Sprintf("%.1f", r.MeanDelay),
+		fmt.Sprintf("%d", r.MaxDelay),
+		fmt.Sprintf("%d", r.KernelLen))
+	return t
+}

@@ -1,0 +1,292 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Register identifiers. General registers are 0..MaxGPR-1. Special
+// read-only registers occupy a reserved range above the GPRs and are
+// loaded with thread geometry at launch time.
+type Reg uint8
+
+// MaxGPR is the number of addressable general-purpose registers per
+// thread. The paper's machine has a 64 KB register file per SM and
+// 1024 resident threads; we allow up to 64 named registers per thread
+// and let kernels declare how many they actually use (.reg directive),
+// which bounds occupancy the same way real register allocation does.
+const MaxGPR = 64
+
+// Special register numbers (values of Reg at and above SpecialBase).
+const (
+	SpecialBase Reg = 64 + iota
+	RegTIDX         // thread index within block, x
+	RegTIDY         // thread index within block, y
+	RegNTIDX        // block dimension x
+	RegNTIDY        // block dimension y
+	RegCTAIDX       // block index x
+	RegCTAIDY       // block index y
+	RegNCTAIDX      // grid dimension x
+	RegNCTAIDY      // grid dimension y
+	RegLANEID       // lane within warp
+	RegWARPID       // warp index within block
+	RegSpecialEnd
+)
+
+// IsSpecial reports whether r names a special read-only register.
+func (r Reg) IsSpecial() bool { return r > SpecialBase && r < RegSpecialEnd }
+
+var specialNames = map[Reg]string{
+	RegTIDX:    "%tid.x",
+	RegTIDY:    "%tid.y",
+	RegNTIDX:   "%ntid.x",
+	RegNTIDY:   "%ntid.y",
+	RegCTAIDX:  "%ctaid.x",
+	RegCTAIDY:  "%ctaid.y",
+	RegNCTAIDX: "%nctaid.x",
+	RegNCTAIDY: "%nctaid.y",
+	RegLANEID:  "%laneid",
+	RegWARPID:  "%warpid",
+}
+
+// SpecialByName resolves a %-prefixed special register name.
+func SpecialByName(name string) (Reg, bool) {
+	for r, n := range specialNames {
+		if n == name {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+func (r Reg) String() string {
+	if n, ok := specialNames[r]; ok {
+		return n
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// NumPreds is the number of predicate registers per thread.
+const NumPreds = 8
+
+// PredRef is a guard-predicate reference: which predicate register and
+// whether it is negated. The zero value (None=true) means "always".
+type PredRef struct {
+	Index  uint8
+	Negate bool
+	None   bool
+}
+
+// AlwaysPred is the unguarded predicate reference.
+func AlwaysPred() PredRef { return PredRef{None: true} }
+
+func (p PredRef) String() string {
+	if p.None {
+		return ""
+	}
+	if p.Negate {
+		return fmt.Sprintf("@!p%d", p.Index)
+	}
+	return fmt.Sprintf("@p%d", p.Index)
+}
+
+// Operand is a register or immediate source.
+type Operand struct {
+	IsImm bool
+	Reg   Reg
+	Imm   uint32 // raw 32-bit pattern (ints and float32 bit patterns)
+}
+
+// RegOp makes a register operand.
+func RegOp(r Reg) Operand { return Operand{Reg: r} }
+
+// ImmOp makes an immediate operand from a raw 32-bit pattern.
+func ImmOp(v uint32) Operand { return Operand{IsImm: true, Imm: v} }
+
+func (o Operand) String() string {
+	if o.IsImm {
+		return fmt.Sprintf("%d", int32(o.Imm))
+	}
+	return o.Reg.String()
+}
+
+// fpString renders the operand for a floating-point context: immediates
+// print as float literals so disassembly reassembles to the same bits.
+func (o Operand) fpString() string {
+	if !o.IsImm {
+		return o.Reg.String()
+	}
+	f := math.Float32frombits(o.Imm)
+	s := strconv.FormatFloat(float64(f), 'g', -1, 32)
+	if !strings.ContainsAny(s, ".eE") && !strings.ContainsAny(s, "nN") {
+		s += ".0"
+	}
+	return s
+}
+
+// addrString renders a memory operand: [base+off] for register bases,
+// or the absolute byte offset for immediate bases, matching the
+// assembler's accepted syntax so disassembly round-trips.
+func (in *Instr) addrString() string {
+	if in.Src[0].IsImm {
+		return fmt.Sprintf("[%d]", int64(int32(in.Src[0].Imm))+int64(in.Off))
+	}
+	return fmt.Sprintf("[%s%+d]", in.Src[0].Reg, in.Off)
+}
+
+// srcString picks the int or float rendering by opcode class.
+func (in *Instr) srcString(i int) string {
+	if in.Op.IsFP() || (in.Op == OpSETP && in.CmpTy == CmpF32) {
+		return in.Src[i].fpString()
+	}
+	return in.Src[i].String()
+}
+
+// Instr is one decoded machine instruction. Fields beyond Op are used
+// only by the opcodes that need them.
+type Instr struct {
+	Op   Opcode
+	Pred PredRef // guard
+
+	Dst Reg        // general destination (when Op.HasDst())
+	Src [3]Operand // sources, Src[0..NumSrc-1]
+
+	// SETP / SELP / PAND / PNOT predicate plumbing.
+	PDst  uint8 // destination predicate index (SETP, PAND, PNOT)
+	PSrcA uint8 // source predicate A (SELP selector, PAND, PNOT)
+	PSrcB uint8 // source predicate B (PAND)
+	Cmp   CmpOp
+	CmpTy CmpType
+
+	// Memory.
+	Space MemSpace
+	Off   int32 // address offset for LD/ST/ATOM
+
+	// Control flow (resolved to instruction indices by the assembler).
+	Target int // branch target PC
+	Reconv int // reconvergence PC for divergent branches
+
+	Line int // source line for diagnostics
+}
+
+// Reads returns the general registers this instruction reads (excluding
+// specials, which are constant per-thread and never hazard).
+func (in *Instr) Reads() []Reg {
+	var rs []Reg
+	n := in.Op.NumSrc()
+	for i := 0; i < n; i++ {
+		if !in.Src[i].IsImm && !in.Src[i].Reg.IsSpecial() {
+			rs = append(rs, in.Src[i].Reg)
+		}
+	}
+	return rs
+}
+
+// Writes returns the general destination register, if any.
+func (in *Instr) Writes() (Reg, bool) {
+	if in.Op.HasDst() {
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// String renders the instruction in assembler syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	if !in.Pred.None {
+		b.WriteString(in.Pred.String())
+		b.WriteByte(' ')
+	}
+	switch in.Op {
+	case OpSETP:
+		fmt.Fprintf(&b, "setp.%s.%s p%d, %s, %s", in.Cmp, in.CmpTy, in.PDst, in.srcString(0), in.srcString(1))
+	case OpSELP:
+		fmt.Fprintf(&b, "selp %s, %s, %s, p%d", in.Dst, in.Src[0], in.Src[1], in.PSrcA)
+	case OpPAND:
+		fmt.Fprintf(&b, "pand p%d, p%d, p%d", in.PDst, in.PSrcA, in.PSrcB)
+	case OpPNOT:
+		fmt.Fprintf(&b, "pnot p%d, p%d", in.PDst, in.PSrcA)
+	case OpLD:
+		fmt.Fprintf(&b, "ld.%s %s, %s", in.Space, in.Dst, in.addrString())
+	case OpST:
+		fmt.Fprintf(&b, "st.%s %s, %s", in.Space, in.addrString(), in.Src[1])
+	case OpATOM:
+		fmt.Fprintf(&b, "atom.add.%s %s, %s, %s", in.Space, in.Dst, in.addrString(), in.Src[1])
+	case OpBRA:
+		fmt.Fprintf(&b, "bra @%d, @%d", in.Target, in.Reconv) // PCs; Disassemble emits labels
+	case OpBAR, OpEXIT, OpNOP:
+		b.WriteString(in.Op.String())
+	default:
+		b.WriteString(in.Op.String())
+		if in.Op.HasDst() {
+			fmt.Fprintf(&b, " %s", in.Dst)
+		}
+		for i := 0; i < in.Op.NumSrc(); i++ {
+			if i == 0 && !in.Op.HasDst() {
+				fmt.Fprintf(&b, " %s", in.srcString(i))
+			} else {
+				fmt.Fprintf(&b, ", %s", in.srcString(i))
+			}
+		}
+	}
+	return b.String()
+}
+
+// Program is an assembled kernel body.
+type Program struct {
+	Name        string
+	Instrs      []Instr
+	NumRegs     int            // GPRs actually used (from .reg or inferred)
+	SharedBytes int            // declared shared-memory demand (.shared)
+	Labels      map[string]int // label -> PC, for diagnostics
+}
+
+// Disassemble renders the program as valid assembly: every branch
+// target gets a label, so the output reassembles to an identical
+// program (the asm package tests this round trip).
+func (p *Program) Disassemble() string {
+	byPC := make(map[int][]string)
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	labelFor := make(map[int]string)
+	for pc, names := range byPC {
+		labelFor[pc] = names[0]
+	}
+	ensure := func(pc int) string {
+		if l, ok := labelFor[pc]; ok {
+			return l
+		}
+		l := fmt.Sprintf("L%d", pc)
+		labelFor[pc] = l
+		byPC[pc] = append(byPC[pc], l)
+		return l
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpBRA {
+			ensure(p.Instrs[i].Target)
+			ensure(p.Instrs[i].Reconv)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s\n.reg %d\n", p.Name, p.NumRegs)
+	for pc := range p.Instrs {
+		for _, l := range byPC[pc] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		in := &p.Instrs[pc]
+		if in.Op == OpBRA {
+			guard := ""
+			if !in.Pred.None {
+				guard = in.Pred.String() + " "
+			}
+			fmt.Fprintf(&b, "\t%sbra %s, %s\t; pc %d\n",
+				guard, labelFor[in.Target], labelFor[in.Reconv], pc)
+			continue
+		}
+		fmt.Fprintf(&b, "\t%s\t; pc %d\n", in.String(), pc)
+	}
+	return b.String()
+}

@@ -1,0 +1,257 @@
+// Package isa defines the instruction set executed by the simulated
+// GPGPU: a small PTX/SASS-like vector ISA with 32-bit general
+// registers, predicate registers, special registers, and three
+// execution-unit classes (SP, SFU, LD/ST) matching the heterogeneous
+// units of an NVIDIA-Fermi-style streaming multiprocessor.
+package isa
+
+import "fmt"
+
+// UnitClass identifies which execution unit type an instruction uses.
+// The Warped-DMR Replay Checker compares these two-bit type tags to
+// decide when a redundant execution can be co-scheduled (paper §4.3).
+type UnitClass uint8
+
+const (
+	// UnitSP is the shader-processor ALU/FPU class.
+	UnitSP UnitClass = iota
+	// UnitSFU is the special-function unit class (sin, cos, sqrt, ...).
+	UnitSFU
+	// UnitLDST is the load/store unit class.
+	UnitLDST
+	// UnitCTRL marks control instructions (branches, barriers, exit)
+	// which are resolved at issue and are not DMR targets.
+	UnitCTRL
+)
+
+func (u UnitClass) String() string {
+	switch u {
+	case UnitSP:
+		return "SP"
+	case UnitSFU:
+		return "SFU"
+	case UnitLDST:
+		return "LDST"
+	case UnitCTRL:
+		return "CTRL"
+	default:
+		return fmt.Sprintf("UnitClass(%d)", int(u))
+	}
+}
+
+// Opcode enumerates every operation in the ISA.
+type Opcode uint8
+
+const (
+	OpNOP Opcode = iota
+
+	// --- SP class: integer ---
+	OpMOV  // dst = src0
+	OpIADD // dst = src0 + src1
+	OpISUB // dst = src0 - src1
+	OpIMUL // dst = src0 * src1 (low 32 bits)
+	OpIMAD // dst = src0 * src1 + src2
+	OpIMIN // dst = min(src0, src1) signed
+	OpIMAX // dst = max(src0, src1) signed
+	OpAND
+	OpOR
+	OpXOR
+	OpNOT // dst = ^src0
+	OpSHL // dst = src0 << (src1 & 31)
+	OpSHR // dst = src0 >> (src1 & 31) logical
+	OpSAR // dst = src0 >> (src1 & 31) arithmetic
+
+	// --- SP class: float32 ---
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFFMA // dst = src0*src1 + src2
+	OpFMIN
+	OpFMAX
+	OpFNEG
+	OpFABS
+	OpI2F // dst = float32(int32(src0))
+	OpF2I // dst = int32(trunc(float32 src0))
+
+	// --- SP class: predicates / select ---
+	OpSETP // pdst = cmp(src0, src1); comparison in Cmp, type in FType
+	OpSELP // dst = pred ? src0 : src1 (pred in Pred2)
+	OpPAND // pdst = psrc0 && psrc1 (operands are predicate refs via Pred2/Pred3)
+	OpPNOT // pdst = !psrc0
+
+	// --- SFU class ---
+	OpFSIN
+	OpFCOS
+	OpFSQRT
+	OpFRSQRT
+	OpFRCP
+	OpFEX2 // 2^x
+	OpFLG2 // log2(x)
+	OpFDIV // dst = src0 / src1 (iterates on SFU)
+
+	// --- LD/ST class ---
+	OpLD   // dst = mem[src0 + Imm], space in Space
+	OpST   // mem[src0 + Imm] = src1
+	OpATOM // dst = atomic-add(mem[src0+Imm], src1), returns old value
+
+	// --- control ---
+	OpBRA  // branch to Target (guarded); Reconv holds reconvergence PC
+	OpBAR  // block-wide barrier
+	OpEXIT // thread (warp) termination
+)
+
+// opInfo captures static properties of each opcode.
+type opInfo struct {
+	name   string
+	unit   UnitClass
+	nSrc   int  // number of register/imm source operands
+	hasDst bool // writes a general register
+	isFP   bool // operates on float32 lanes
+}
+
+var opTable = [...]opInfo{
+	OpNOP:    {"nop", UnitSP, 0, false, false},
+	OpMOV:    {"mov", UnitSP, 1, true, false},
+	OpIADD:   {"iadd", UnitSP, 2, true, false},
+	OpISUB:   {"isub", UnitSP, 2, true, false},
+	OpIMUL:   {"imul", UnitSP, 2, true, false},
+	OpIMAD:   {"imad", UnitSP, 3, true, false},
+	OpIMIN:   {"imin", UnitSP, 2, true, false},
+	OpIMAX:   {"imax", UnitSP, 2, true, false},
+	OpAND:    {"and", UnitSP, 2, true, false},
+	OpOR:     {"or", UnitSP, 2, true, false},
+	OpXOR:    {"xor", UnitSP, 2, true, false},
+	OpNOT:    {"not", UnitSP, 1, true, false},
+	OpSHL:    {"shl", UnitSP, 2, true, false},
+	OpSHR:    {"shr", UnitSP, 2, true, false},
+	OpSAR:    {"sar", UnitSP, 2, true, false},
+	OpFADD:   {"fadd", UnitSP, 2, true, true},
+	OpFSUB:   {"fsub", UnitSP, 2, true, true},
+	OpFMUL:   {"fmul", UnitSP, 2, true, true},
+	OpFFMA:   {"ffma", UnitSP, 3, true, true},
+	OpFMIN:   {"fmin", UnitSP, 2, true, true},
+	OpFMAX:   {"fmax", UnitSP, 2, true, true},
+	OpFNEG:   {"fneg", UnitSP, 1, true, true},
+	OpFABS:   {"fabs", UnitSP, 1, true, true},
+	OpI2F:    {"i2f", UnitSP, 1, true, true},
+	OpF2I:    {"f2i", UnitSP, 1, true, true},
+	OpSETP:   {"setp", UnitSP, 2, false, false},
+	OpSELP:   {"selp", UnitSP, 2, true, false},
+	OpPAND:   {"pand", UnitSP, 0, false, false},
+	OpPNOT:   {"pnot", UnitSP, 0, false, false},
+	OpFSIN:   {"fsin", UnitSFU, 1, true, true},
+	OpFCOS:   {"fcos", UnitSFU, 1, true, true},
+	OpFSQRT:  {"fsqrt", UnitSFU, 1, true, true},
+	OpFRSQRT: {"frsqrt", UnitSFU, 1, true, true},
+	OpFRCP:   {"frcp", UnitSFU, 1, true, true},
+	OpFEX2:   {"fex2", UnitSFU, 1, true, true},
+	OpFLG2:   {"flg2", UnitSFU, 1, true, true},
+	OpFDIV:   {"fdiv", UnitSFU, 2, true, true},
+	OpLD:     {"ld", UnitLDST, 1, true, false},
+	OpST:     {"st", UnitLDST, 2, false, false},
+	OpATOM:   {"atom.add", UnitLDST, 2, true, false},
+	OpBRA:    {"bra", UnitCTRL, 0, false, false},
+	OpBAR:    {"bar.sync", UnitCTRL, 0, false, false},
+	OpEXIT:   {"exit", UnitCTRL, 0, false, false},
+}
+
+// NumOpcodes is the count of defined opcodes.
+const NumOpcodes = int(OpEXIT) + 1
+
+// String returns the assembly mnemonic of the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Unit returns the execution unit class the opcode dispatches to.
+func (o Opcode) Unit() UnitClass { return opTable[o].unit }
+
+// NumSrc returns how many general source operands the opcode reads.
+func (o Opcode) NumSrc() int { return opTable[o].nSrc }
+
+// HasDst reports whether the opcode writes a general destination register.
+func (o Opcode) HasDst() bool { return opTable[o].hasDst }
+
+// IsFP reports whether the opcode interprets lanes as float32.
+func (o Opcode) IsFP() bool { return opTable[o].isFP }
+
+// CmpOp is the comparison selector for SETP.
+type CmpOp uint8
+
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (c CmpOp) String() string {
+	switch c {
+	case CmpEQ:
+		return "eq"
+	case CmpNE:
+		return "ne"
+	case CmpLT:
+		return "lt"
+	case CmpLE:
+		return "le"
+	case CmpGT:
+		return "gt"
+	case CmpGE:
+		return "ge"
+	default:
+		return fmt.Sprintf("cmp(%d)", int(c))
+	}
+}
+
+// CmpType is the operand interpretation for SETP.
+type CmpType uint8
+
+const (
+	CmpS32 CmpType = iota // signed 32-bit
+	CmpU32                // unsigned 32-bit
+	CmpF32                // float32
+)
+
+func (t CmpType) String() string {
+	switch t {
+	case CmpS32:
+		return "s32"
+	case CmpU32:
+		return "u32"
+	case CmpF32:
+		return "f32"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// MemSpace identifies an address space for LD/ST/ATOM.
+type MemSpace uint8
+
+const (
+	SpaceGlobal MemSpace = iota
+	SpaceShared
+	SpaceParam // kernel parameter space, read-only
+	SpaceLocal // per-thread scratch, carved out of global
+)
+
+func (s MemSpace) String() string {
+	switch s {
+	case SpaceGlobal:
+		return "global"
+	case SpaceShared:
+		return "shared"
+	case SpaceParam:
+		return "param"
+	case SpaceLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("space(%d)", int(s))
+	}
+}

@@ -1,0 +1,157 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeTableComplete(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no mnemonic", int(op))
+		}
+	}
+}
+
+func TestUnitClasses(t *testing.T) {
+	cases := map[Opcode]UnitClass{
+		OpIADD: UnitSP, OpFFMA: UnitSP, OpSETP: UnitSP, OpSELP: UnitSP,
+		OpFSIN: UnitSFU, OpFSQRT: UnitSFU, OpFRCP: UnitSFU, OpFDIV: UnitSFU,
+		OpLD: UnitLDST, OpST: UnitLDST, OpATOM: UnitLDST,
+		OpBRA: UnitCTRL, OpBAR: UnitCTRL, OpEXIT: UnitCTRL,
+	}
+	for op, want := range cases {
+		if op.Unit() != want {
+			t.Errorf("%s.Unit() = %v, want %v", op, op.Unit(), want)
+		}
+	}
+}
+
+func TestUnitClassIsTwoBitTag(t *testing.T) {
+	// The Replay Checker compares two-bit type tags (paper §4.3); the
+	// three real unit classes must fit in two bits.
+	for _, u := range []UnitClass{UnitSP, UnitSFU, UnitLDST} {
+		if u > 3 {
+			t.Errorf("unit class %v exceeds a 2-bit tag", u)
+		}
+	}
+}
+
+func TestOpcodeProperties(t *testing.T) {
+	if !OpIMAD.HasDst() || OpIMAD.NumSrc() != 3 {
+		t.Error("imad should be 3R1W")
+	}
+	if !OpIADD.HasDst() || OpIADD.NumSrc() != 2 {
+		t.Error("iadd should be 2R1W")
+	}
+	if OpST.HasDst() {
+		t.Error("st must not write a register")
+	}
+	if OpSETP.HasDst() {
+		t.Error("setp writes a predicate, not a GPR")
+	}
+	if !OpFADD.IsFP() || OpIADD.IsFP() {
+		t.Error("FP classification broken")
+	}
+}
+
+func TestSpecialRegisters(t *testing.T) {
+	for _, name := range []string{"%tid.x", "%tid.y", "%ntid.x", "%ctaid.x", "%nctaid.y", "%laneid", "%warpid"} {
+		r, ok := SpecialByName(name)
+		if !ok {
+			t.Errorf("SpecialByName(%q) failed", name)
+			continue
+		}
+		if !r.IsSpecial() {
+			t.Errorf("%q not marked special", name)
+		}
+		if r.String() != name {
+			t.Errorf("round trip %q -> %q", name, r.String())
+		}
+	}
+	if _, ok := SpecialByName("%bogus"); ok {
+		t.Error("bogus special resolved")
+	}
+	if Reg(5).IsSpecial() {
+		t.Error("r5 must not be special")
+	}
+}
+
+func TestInstrReadsWrites(t *testing.T) {
+	in := Instr{Op: OpIMAD, Dst: 1, Src: [3]Operand{RegOp(2), ImmOp(7), RegOp(3)}}
+	reads := in.Reads()
+	if len(reads) != 2 || reads[0] != 2 || reads[1] != 3 {
+		t.Errorf("Reads = %v, want [r2 r3]", reads)
+	}
+	if d, ok := in.Writes(); !ok || d != 1 {
+		t.Errorf("Writes = %v,%v", d, ok)
+	}
+	// Special registers never appear as hazards.
+	in2 := Instr{Op: OpMOV, Dst: 1, Src: [3]Operand{RegOp(RegTIDX)}}
+	if len(in2.Reads()) != 0 {
+		t.Error("special register counted as a scoreboard read")
+	}
+	in3 := Instr{Op: OpBRA}
+	if _, ok := in3.Writes(); ok {
+		t.Error("bra writes nothing")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpIADD, Dst: 1, Src: [3]Operand{RegOp(2), ImmOp(5)}}, "iadd r1, r2, 5"},
+		{Instr{Op: OpSETP, Cmp: CmpLT, CmpTy: CmpS32, PDst: 0,
+			Src: [3]Operand{RegOp(1), RegOp(2)}}, "setp.lt.s32 p0, r1, r2"},
+		{Instr{Op: OpLD, Space: SpaceGlobal, Dst: 4, Src: [3]Operand{RegOp(5)}, Off: 16},
+			"ld.global r4, [r5+16]"},
+		{Instr{Op: OpST, Space: SpaceShared, Src: [3]Operand{RegOp(6), RegOp(7)}},
+			"st.shared [r6+0], r7"},
+		{Instr{Op: OpBAR}, "bar.sync"},
+		{Instr{Op: OpEXIT, Pred: PredRef{Index: 3, Negate: true}}, "@!p3 exit"},
+		{Instr{Op: OpSELP, Dst: 1, Src: [3]Operand{RegOp(2), RegOp(3)}, PSrcA: 2},
+			"selp r1, r2, r3, p2"},
+		{Instr{Op: OpPAND, PDst: 1, PSrcA: 2, PSrcB: 3}, "pand p1, p2, p3"},
+	}
+	for _, c := range cases {
+		in := c.in
+		if in.Pred == (PredRef{}) {
+			in.Pred = AlwaysPred()
+		}
+		if got := in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCmpAndSpaceStrings(t *testing.T) {
+	if CmpLT.String() != "lt" || CmpGE.String() != "ge" {
+		t.Error("CmpOp strings broken")
+	}
+	if CmpF32.String() != "f32" || CmpU32.String() != "u32" {
+		t.Error("CmpType strings broken")
+	}
+	if SpaceGlobal.String() != "global" || SpaceParam.String() != "param" {
+		t.Error("MemSpace strings broken")
+	}
+}
+
+func TestProgramDisassemble(t *testing.T) {
+	p := &Program{
+		Name:    "t",
+		NumRegs: 2,
+		Instrs: []Instr{
+			{Op: OpMOV, Dst: 0, Src: [3]Operand{ImmOp(1)}, Pred: AlwaysPred()},
+			{Op: OpEXIT, Pred: AlwaysPred()},
+		},
+		Labels: map[string]int{"end": 1},
+	}
+	d := p.Disassemble()
+	for _, want := range []string{".kernel t", ".reg 2", "end:", "mov r0, 1", "exit"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package power implements the analytical GPU power model the paper
+// uses for Fig. 11 (Hong & Kim, "An integrated GPU power and
+// performance model", ISCA 2010): each component's runtime power is its
+// maximum power scaled by its access rate, summed with idle/constant
+// power; energy is power times execution time.
+//
+//	RP_comp = MaxPower_comp * AccessRate_comp            (paper Eq. 1)
+//	AccessRate_comp = accesses / issue slots             (paper Eq. 2)
+//
+// The per-component MaxPower constants below are Fermi-scale
+// approximations chosen to reproduce the model's structure, not
+// measured values; Fig. 11 reports power and energy *normalized to the
+// no-DMR baseline*, so only the access-rate and cycle-count deltas —
+// which come from the simulator — matter for the reproduced result.
+package power
+
+import (
+	"warped/internal/arch"
+	"warped/internal/stats"
+)
+
+// Params holds the MaxPower constants (watts, chip-wide) per component
+// class, plus idle and constant power.
+type Params struct {
+	MaxSP      float64 // all SP lanes busy every cycle
+	MaxSFU     float64
+	MaxLDST    float64
+	MaxRegFile float64
+	MaxFDS     float64 // fetch/decode/schedule
+	MaxShared  float64
+	MaxGlobal  float64 // DRAM+interconnect activity
+	MaxReplayQ float64 // Warped-DMR's added structure
+	Idle       float64 // static + leakage
+	Const      float64 // clocks, misc
+}
+
+// DefaultParams returns Fermi-scale constants. Static power is ~60% of
+// total for a typical load, matching the figure the paper cites.
+func DefaultParams() Params {
+	return Params{
+		MaxSP:      120,
+		MaxSFU:     40,
+		MaxLDST:    60,
+		MaxRegFile: 30,
+		MaxFDS:     15,
+		MaxShared:  20,
+		MaxGlobal:  40,
+		MaxReplayQ: 3,
+		Idle:       60,
+		Const:      8,
+	}
+}
+
+// Report is the power/energy estimate for one run.
+type Report struct {
+	RuntimeW float64 // dynamic component
+	TotalW   float64 // runtime + idle + const
+	TimeS    float64 // execution time (cycles * clock period)
+	EnergyJ  float64 // TotalW * TimeS
+}
+
+// Estimate computes the power report for a finished run. cfg supplies
+// the clock period and SM count; st supplies cycles and access counts.
+func Estimate(cfg arch.Config, p Params, st *stats.Stats) Report {
+	cycles := float64(st.Cycles)
+	if cycles == 0 {
+		return Report{}
+	}
+	// Issue slots across the chip over the kernel's lifetime.
+	slots := cycles * float64(cfg.NumSMs)
+
+	// Access rates: how busy each component class was, 0..1-ish. DMR
+	// redundant executions consume real datapath energy, so they count;
+	// RedundantOps are tracked per lane, so divide by the warp width to
+	// get warp-instruction equivalents comparable with UnitOps.
+	rate := func(accesses int64) float64 { return float64(accesses) / slots }
+	ws := int64(cfg.WarpSize)
+
+	spOps := st.UnitOps[0] + st.RedundantOps[0]/ws
+	sfuOps := st.UnitOps[1] + st.RedundantOps[1]/ws
+	ldstOps := st.UnitOps[2] + st.RedundantOps[2]/ws
+	// Redundant executions re-read operands from the RFU latches, not
+	// the register file (the RFU forwards them), but results are still
+	// compared, costing comparator energy folded into MaxReplayQ.
+	rfAccesses := st.RegFileReads + st.RegFileWrites
+
+	runtime := p.MaxSP*rate(spOps) +
+		p.MaxSFU*rate(sfuOps) +
+		p.MaxLDST*rate(ldstOps) +
+		p.MaxRegFile*rate(rfAccesses)/4 + // 4 banks fetch per access slot
+		p.MaxFDS*rate(st.WarpInstrs) +
+		p.MaxShared*rate(st.SharedAccesses) +
+		p.MaxGlobal*rate(st.GlobalAccesses) +
+		p.MaxReplayQ*rate(st.ReplayEnq+st.ReplayCoexec+st.ReplayIdleDrain)
+
+	timeS := cycles * cfg.ClockNS * 1e-9
+	total := runtime + p.Idle + p.Const
+	return Report{
+		RuntimeW: runtime,
+		TotalW:   total,
+		TimeS:    timeS,
+		EnergyJ:  total * timeS,
+	}
+}

@@ -1,0 +1,78 @@
+package power
+
+import (
+	"testing"
+
+	"warped/internal/arch"
+	"warped/internal/stats"
+)
+
+func baseStats() *stats.Stats {
+	return &stats.Stats{
+		Cycles:         10000,
+		WarpInstrs:     50000,
+		UnitOps:        [3]int64{30000, 2000, 18000},
+		RegFileReads:   90000,
+		RegFileWrites:  40000,
+		SharedAccesses: 5000,
+		GlobalAccesses: 8000,
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	cfg := arch.PaperConfig()
+	rep := Estimate(cfg, DefaultParams(), baseStats())
+	if rep.TotalW <= rep.RuntimeW || rep.RuntimeW <= 0 {
+		t.Errorf("implausible power: %+v", rep)
+	}
+	if rep.TimeS <= 0 || rep.EnergyJ <= 0 {
+		t.Errorf("implausible time/energy: %+v", rep)
+	}
+	// E = P * t must hold.
+	if got := rep.TotalW * rep.TimeS; got != rep.EnergyJ {
+		t.Errorf("energy %v != power*time %v", rep.EnergyJ, got)
+	}
+	// Static (idle+const) should be a substantial share — the paper
+	// cites ~60% static for GPGPUs.
+	p := DefaultParams()
+	static := (p.Idle + p.Const) / rep.TotalW
+	if static < 0.4 || static > 0.85 {
+		t.Errorf("static share = %.2f, expected a dominant static fraction", static)
+	}
+}
+
+func TestEstimateZeroCycles(t *testing.T) {
+	rep := Estimate(arch.PaperConfig(), DefaultParams(), &stats.Stats{})
+	if rep.TotalW != 0 || rep.EnergyJ != 0 {
+		t.Error("zero-cycle run should produce a zero report")
+	}
+}
+
+func TestRedundantOpsRaisePower(t *testing.T) {
+	cfg := arch.PaperConfig()
+	p := DefaultParams()
+	base := Estimate(cfg, p, baseStats())
+	dmr := baseStats()
+	// Same cycles, every instruction replayed: dynamic power must rise.
+	dmr.RedundantOps = [3]int64{30000 * 32, 2000 * 32, 18000 * 32}
+	withDMR := Estimate(cfg, p, dmr)
+	if withDMR.TotalW <= base.TotalW {
+		t.Errorf("redundant work did not raise power: %.2f vs %.2f", withDMR.TotalW, base.TotalW)
+	}
+}
+
+func TestLongerRunMoreEnergy(t *testing.T) {
+	cfg := arch.PaperConfig()
+	p := DefaultParams()
+	a := baseStats()
+	b := baseStats()
+	b.Cycles *= 2
+	ra := Estimate(cfg, p, a)
+	rb := Estimate(cfg, p, b)
+	if rb.EnergyJ <= ra.EnergyJ {
+		t.Error("doubling cycles must increase energy")
+	}
+	if rb.TotalW >= ra.TotalW {
+		t.Error("same work over more cycles must lower average power")
+	}
+}

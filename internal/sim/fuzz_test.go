@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"warped/internal/arch"
+	"warped/internal/asm"
+	"warped/internal/exec"
+	"warped/internal/isa"
+	"warped/internal/mem"
+	"warped/internal/simt"
+)
+
+// cfgen emits random structured programs in assembly text: straight-line
+// ALU blocks, tid-dependent if/else diamonds (divergent), and bounded
+// loops with tid-dependent trip counts (divergent backward branches).
+type cfgen struct {
+	rng    *rand.Rand
+	b      strings.Builder
+	labels int
+	depth  int
+}
+
+func (g *cfgen) label(prefix string) string {
+	g.labels++
+	return fmt.Sprintf("%s%d", prefix, g.labels)
+}
+
+// aluBlock mutates r1..r5 with a few random ops (r0 holds tid and is
+// never clobbered; r6/r7 are loop counters/temps).
+func (g *cfgen) aluBlock() {
+	ops := []string{"iadd", "isub", "imul", "and", "or", "xor", "imin", "imax"}
+	n := 1 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		op := ops[g.rng.Intn(len(ops))]
+		d := 1 + g.rng.Intn(5)
+		a := g.rng.Intn(6)
+		if g.rng.Intn(3) == 0 {
+			fmt.Fprintf(&g.b, "\t%s r%d, r%d, %d\n", op, d, a, g.rng.Intn(1000))
+		} else {
+			fmt.Fprintf(&g.b, "\t%s r%d, r%d, r%d\n", op, d, a, g.rng.Intn(6))
+		}
+	}
+}
+
+// ifElse emits a divergent diamond predicated on a tid comparison.
+func (g *cfgen) ifElse() {
+	then := g.label("T")
+	join := g.label("J")
+	// Condition: (tid & mask) cmp k — divergent for most draws.
+	mask := []int{1, 3, 7, 15, 31}[g.rng.Intn(5)]
+	k := g.rng.Intn(mask + 1)
+	cmp := []string{"lt", "le", "eq", "ne", "gt", "ge"}[g.rng.Intn(6)]
+	fmt.Fprintf(&g.b, "\tand r6, r0, %d\n", mask)
+	fmt.Fprintf(&g.b, "\tsetp.%s.s32 p0, r6, %d\n", cmp, k)
+	fmt.Fprintf(&g.b, "\t@p0 bra %s, %s\n", then, join)
+	g.body()
+	fmt.Fprintf(&g.b, "\tbra %s\n%s:\n", join, then)
+	g.body()
+	fmt.Fprintf(&g.b, "%s:\n", join)
+}
+
+// loop emits a bounded loop whose trip count depends on tid (1..4+),
+// exercising divergent backward branches.
+func (g *cfgen) loop() {
+	top := g.label("L")
+	fmt.Fprintf(&g.b, "\tand r7, r0, 3\n")
+	fmt.Fprintf(&g.b, "\tiadd r7, r7, 1\n") // 1..4 iterations
+	fmt.Fprintf(&g.b, "%s:\n", top)
+	g.aluBlock()
+	fmt.Fprintf(&g.b, "\tisub r7, r7, 1\n")
+	fmt.Fprintf(&g.b, "\tsetp.gt.s32 p1, r7, 0\n")
+	fmt.Fprintf(&g.b, "\t@p1 bra %s\n", top)
+}
+
+// body emits a random construct, recursing with bounded depth.
+func (g *cfgen) body() {
+	g.depth++
+	defer func() { g.depth-- }()
+	switch {
+	case g.depth > 3:
+		g.aluBlock()
+	default:
+		switch g.rng.Intn(4) {
+		case 0:
+			g.ifElse()
+		case 1:
+			g.loop()
+		default:
+			g.aluBlock()
+		}
+	}
+}
+
+// generate builds the full program: seed registers from tid, run a few
+// random constructs, store r1..r5 to out[tid*8...].
+func (g *cfgen) generate(outBase uint32) string {
+	g.b.Reset()
+	g.b.WriteString(".kernel fuzz\n")
+	g.b.WriteString("\tmov r0, %tid.x\n")
+	for r := 1; r <= 5; r++ {
+		fmt.Fprintf(&g.b, "\timad r%d, r0, %d, %d\n", r, g.rng.Intn(50)+1, g.rng.Intn(100))
+	}
+	n := 2 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		g.body()
+	}
+	fmt.Fprintf(&g.b, "\tshl r6, r0, 5\n")
+	fmt.Fprintf(&g.b, "\tiadd r6, r6, %d\n", outBase)
+	for r := 1; r <= 5; r++ {
+		fmt.Fprintf(&g.b, "\tst.global [r6+%d], r%d\n", 4*(r-1), r)
+	}
+	g.b.WriteString("\texit\n")
+	return g.b.String()
+}
+
+// TestFuzzControlFlowDifferential: for many random structured programs,
+// the full pipeline (with DMR active) produces exactly the results of a
+// plain functional walk. This is the strongest correctness net over the
+// divergence stack, the scheduler, and the DMR engine's no-side-effects
+// guarantee.
+func TestFuzzControlFlowDifferential(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 25
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		gen := &cfgen{rng: rng}
+		const outBase = 4096
+		src := gen.generate(outBase)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: assemble: %v\n%s", trial, err, src)
+		}
+
+		// Reference functional walk.
+		ref := exec.NewRegs(prog.NumRegs)
+		var tid [32]uint32
+		for i := range tid {
+			tid[i] = uint32(i)
+		}
+		ref.SetSpecial(isa.RegTIDX, tid)
+		refCtx := &exec.Context{Global: mem.NewGlobal(1 << 16), Shared: mem.NewShared(64), Params: mem.NewParams()}
+		w := simt.NewWarp(0, 0, 32)
+		for steps := 0; !w.Done(); steps++ {
+			if steps > 200000 {
+				t.Fatalf("trial %d: reference walk did not terminate\n%s", trial, src)
+			}
+			if _, err := exec.Step(refCtx, prog, w, ref, 128, 32, nil); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+
+		// Full pipeline under Warped-DMR.
+		cfg := arch.WarpedDMRConfig()
+		cfg.NumSMs = 2
+		g, err := New(cfg, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := g.Launch(&Kernel{Prog: prog, GridX: 1, GridY: 1, BlockX: 32, BlockY: 1}, LaunchOpts{})
+		if err != nil {
+			t.Fatalf("trial %d: launch: %v\n%s", trial, err, src)
+		}
+		if st.FaultsDetected != 0 {
+			t.Fatalf("trial %d: fault-free run flagged %d errors\n%s", trial, st.FaultsDetected, src)
+		}
+
+		want, _ := refCtx.Global.ReadWords(outBase, 32*8)
+		got, _ := g.Mem.ReadWords(outBase, 32*8)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: word %d = %#x, want %#x\n%s", trial, i, got[i], want[i], src)
+			}
+		}
+	}
+}

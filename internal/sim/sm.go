@@ -1,0 +1,615 @@
+// Package sim is the cycle-level timing model of the GPGPU: streaming
+// multiprocessors with a single warp scheduler feeding three
+// heterogeneous execution-unit groups (SP, SFU, LD/ST), a per-warp
+// scoreboard, coalescing/bank-conflict memory costs, block dispatch
+// across the chip, and the Warped-DMR engine hooks at the issue stage.
+package sim
+
+import (
+	"fmt"
+
+	"warped/internal/arch"
+	"warped/internal/cache"
+	"warped/internal/core"
+	"warped/internal/exec"
+	"warped/internal/isa"
+	"warped/internal/mem"
+	"warped/internal/simt"
+	"warped/internal/stats"
+	"warped/internal/trace"
+)
+
+// FaultHook lets a fault model corrupt computed values. It receives the
+// SM, current cycle, physical lane, unit class and golden value, and
+// returns the (possibly corrupted) value plus whether it changed it.
+type FaultHook interface {
+	Perturb(smID int, cycle int64, physLane int, unit isa.UnitClass, golden uint32) (uint32, bool)
+}
+
+// warpCtx is one resident warp: architectural state plus scoreboard.
+type warpCtx struct {
+	warp  *simt.Warp
+	regs  *exec.Regs
+	block *blockCtx
+	gid   int // SM-unique warp id
+
+	ready   [isa.MaxGPR]int64 // cycle at which each GPR's pending write lands
+	tracked bool              // RAW-distance tracking target (Fig. 8b)
+}
+
+// blockCtx is one resident thread block.
+type blockCtx struct {
+	id        int // linear block index in the grid
+	shared    *mem.Shared
+	warps     []*warpCtx
+	live      int // warps not yet exited
+	atBarrier int
+	threads   int
+	shadow    bool // R-Thread duplicate: global writes suppressed
+}
+
+// sm is one streaming multiprocessor.
+type sm struct {
+	id     int
+	cfg    arch.Config
+	gpu    *GPU
+	st     *stats.Stats
+	engine *core.Engine
+
+	blocks    []*blockCtx
+	warps     []*warpCtx // issue candidates, in dispatch (age) order
+	rr        [2]int     // per-scheduler round-robin cursors
+	greedy    [2]int     // per-scheduler GTO sticky warp (-1 none)
+	stall     int        // DMR-induced issue stalls outstanding
+	spBusy    [2]int64   // SP group per scheduler (paper: own SPs)
+	sfuBusy   int64      // shared across schedulers
+	ldstBusy  int64      // shared across schedulers
+	threadsIn int        // resident threads
+	lastBusy  int64
+	l1        *cache.Cache // per-SM L1 data cache (nil when off)
+	err       error
+}
+
+func newSM(id int, g *GPU, st *stats.Stats, fault FaultHook, onError func(core.ErrorEvent)) *sm {
+	s := &sm{id: id, cfg: g.Cfg, gpu: g, st: st, greedy: [2]int{-1, -1}}
+	if g.Cfg.ModelCaches {
+		s.l1 = cache.New(g.Cfg.L1)
+	}
+	var perturb core.PerturbPhys
+	if fault != nil {
+		perturb = func(lane int, unit isa.UnitClass, golden uint32) uint32 {
+			v, _ := fault.Perturb(id, g.now, lane, unit, golden)
+			return v
+		}
+	}
+	s.engine = core.NewEngine(g.Cfg, id, st, perturb, onError)
+	return s
+}
+
+// canHost reports whether the SM has capacity for another block:
+// block slots, thread contexts, register file, and shared memory all
+// bound occupancy, exactly the factors that bound it on hardware.
+func (s *sm) canHost(k *Kernel) bool {
+	if len(s.blocks) >= s.cfg.MaxBlocksPerSM {
+		return false
+	}
+	if s.threadsIn+k.ThreadsPerBlock() > s.cfg.MaxThreadsPerSM {
+		return false
+	}
+	// Register-file pressure: resident threads x registers x 4 bytes.
+	if s.cfg.RegFileBytes > 0 {
+		need := (s.threadsIn + k.ThreadsPerBlock()) * k.Prog.NumRegs * 4
+		if need > s.cfg.RegFileBytes {
+			return false
+		}
+	}
+	if k.SharedBytes > 0 {
+		used := 0
+		for _, b := range s.blocks {
+			used += b.shared.Size()
+		}
+		if used+k.SharedBytes > s.cfg.SharedMemBytes {
+			return false
+		}
+	}
+	return true
+}
+
+// host installs a block on the SM, building its warps and registers.
+func (s *sm) host(k *Kernel, blockID int, trackRAWWarp bool) {
+	threads := k.ThreadsPerBlock()
+	shared := k.SharedBytes
+	if shared == 0 {
+		shared = 4 // placeholder so Size() accounting stays sane
+	}
+	logical := blockID
+	shadow := false
+	if n := k.NumBlocks(); k.ShadowGrid && blockID >= n {
+		logical, shadow = blockID-n, true
+	}
+	b := &blockCtx{id: logical, shared: mem.NewShared(shared), threads: threads, shadow: shadow}
+	nWarps := (threads + s.cfg.WarpSize - 1) / s.cfg.WarpSize
+	for wi := 0; wi < nWarps; wi++ {
+		width := s.cfg.WarpSize
+		if rem := threads - wi*s.cfg.WarpSize; rem < width {
+			width = rem
+		}
+		wc := &warpCtx{
+			warp:  simt.NewWarp(wi, blockID, width),
+			regs:  exec.NewRegs(k.Prog.NumRegs),
+			block: b,
+			gid:   s.gpu.nextWarpGID(),
+		}
+		s.fillSpecials(k, wc, logical, wi, width)
+		// Fig. 8b tracks "warp1 thread 32" = warp index 1. Fall back to
+		// warp 0 for single-warp blocks (the paper does this for SHA).
+		if trackRAWWarp && !shadow && logical == s.gpu.trackBlock && wi == s.gpu.trackWarp {
+			wc.tracked = true
+		}
+		b.warps = append(b.warps, wc)
+		s.warps = append(s.warps, wc)
+	}
+	b.live = len(b.warps)
+	s.blocks = append(s.blocks, b)
+	s.threadsIn += threads
+}
+
+func (s *sm) fillSpecials(k *Kernel, wc *warpCtx, blockID, warpIdx, width int) {
+	var tidx, tidy, ntidx, ntidy, ctaidx, ctaidy, nctaidx, nctaidy, laneid, warpid [32]uint32
+	bx := blockID % k.GridX
+	by := blockID / k.GridX
+	for lane := 0; lane < width; lane++ {
+		t := warpIdx*s.cfg.WarpSize + lane
+		tidx[lane] = uint32(t % k.BlockX)
+		tidy[lane] = uint32(t / k.BlockX)
+		ntidx[lane] = uint32(k.BlockX)
+		ntidy[lane] = uint32(k.BlockY)
+		ctaidx[lane] = uint32(bx)
+		ctaidy[lane] = uint32(by)
+		nctaidx[lane] = uint32(k.GridX)
+		nctaidy[lane] = uint32(k.GridY)
+		laneid[lane] = uint32(lane)
+		warpid[lane] = uint32(warpIdx)
+	}
+	wc.regs.SetSpecial(isa.RegTIDX, tidx)
+	wc.regs.SetSpecial(isa.RegTIDY, tidy)
+	wc.regs.SetSpecial(isa.RegNTIDX, ntidx)
+	wc.regs.SetSpecial(isa.RegNTIDY, ntidy)
+	wc.regs.SetSpecial(isa.RegCTAIDX, ctaidx)
+	wc.regs.SetSpecial(isa.RegCTAIDY, ctaidy)
+	wc.regs.SetSpecial(isa.RegNCTAIDX, nctaidx)
+	wc.regs.SetSpecial(isa.RegNCTAIDY, nctaidy)
+	wc.regs.SetSpecial(isa.RegLANEID, laneid)
+	wc.regs.SetSpecial(isa.RegWARPID, warpid)
+}
+
+// issuable reports whether wc can issue at cycle now on scheduler sched.
+func (s *sm) issuable(wc *warpCtx, k *Kernel, sched int, now int64) bool {
+	if wc.warp.Done() || wc.warp.AtBarrier {
+		return false
+	}
+	in := &k.Prog.Instrs[wc.warp.PC()]
+	switch in.Op.Unit() {
+	case isa.UnitSP:
+		if s.spBusy[sched] > now {
+			return false
+		}
+	case isa.UnitSFU:
+		if s.sfuBusy > now {
+			return false
+		}
+	case isa.UnitLDST:
+		if s.ldstBusy > now {
+			return false
+		}
+	}
+	// Global accesses stall while the DRAM bandwidth bucket is in debt
+	// (cache hits never create debt, so they pass freely).
+	if in.Op.Unit() == isa.UnitLDST && in.Space != isa.SpaceShared && in.Space != isa.SpaceParam &&
+		s.gpu.dramTokens < 0 {
+		return false
+	}
+	// Scoreboard: RAW on sources, WAW on destination.
+	for _, r := range in.Reads() {
+		if wc.ready[r] > now {
+			return false
+		}
+	}
+	if d, ok := in.Writes(); ok && wc.ready[d] > now {
+		return false
+	}
+	return true
+}
+
+// regBankConflictCycles counts the extra register-fetch cycles for an
+// instruction whose source registers collide in the same bank. Each
+// bank holds one 128-bit entry per register name, interleaved
+// register-number mod banks-per-cluster (after [8]); distinct registers
+// in the same bank serialize their fetches, which the operand buffer
+// hides from the pipeline but which still delays the result.
+func (s *sm) regBankConflictCycles(in *isa.Instr) int64 {
+	if !s.cfg.ModelRegBankConflicts {
+		return 0
+	}
+	banks := s.cfg.RegBanksPerCluster()
+	var perBank [32]int8
+	var seen [isa.MaxGPR]bool
+	extra := int64(0)
+	n := in.Op.NumSrc()
+	for i := 0; i < n; i++ {
+		o := in.Src[i]
+		if o.IsImm || o.Reg.IsSpecial() {
+			continue
+		}
+		r := int(o.Reg)
+		if seen[r] {
+			continue // same register feeds multiple operands: one fetch
+		}
+		seen[r] = true
+		b := r % banks
+		if perBank[b] > 0 {
+			extra++
+		}
+		perBank[b]++
+	}
+	return extra
+}
+
+// latency returns the writeback latency for an executed record.
+// Memory costs (latency, DRAM bandwidth, cache effects) are handled by
+// memCosts at issue time.
+func (s *sm) latency(rec *exec.Record) int64 {
+	switch {
+	case rec.Unit == isa.UnitCTRL:
+		return 1
+	case rec.Unit == isa.UnitSFU:
+		return int64(s.cfg.SFULat)
+	default:
+		return int64(s.cfg.SPLat)
+	}
+}
+
+// segBases returns the distinct coalesced segment base addresses of a
+// memory record's active lanes.
+func (s *sm) segBases(rec *exec.Record) []uint32 {
+	segBytes := uint32(s.cfg.CoalesceBytes)
+	var bases []uint32
+	for lane := 0; lane < 32; lane++ {
+		if !rec.Executing.Has(lane) {
+			continue
+		}
+		b := rec.Addrs[lane] / segBytes * segBytes
+		dup := false
+		for _, x := range bases {
+			if x == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			bases = append(bases, b)
+		}
+	}
+	return bases
+}
+
+// memCosts computes the writeback latency and LD/ST occupancy of a
+// memory record, probing the L1/L2 hierarchy and charging DRAM
+// bandwidth for the segments that reach memory.
+func (s *sm) memCosts(rec *exec.Record) (lat, occ int64) {
+	switch rec.Instr.Space {
+	case isa.SpaceShared, isa.SpaceParam:
+		return int64(s.cfg.SharedLat + rec.BankSer - 1), int64(rec.BankSer)
+	}
+
+	bases := s.segBases(rec)
+	occ = int64(len(bases))
+	if occ < 1 {
+		occ = 1
+	}
+	isAtom := rec.Instr.Op == isa.OpATOM
+	if isAtom {
+		occ = int64(rec.Executing.Count()) // atomics serialize per lane
+		if occ < 1 {
+			occ = 1
+		}
+	}
+
+	if s.l1 == nil { // caches off: flat DRAM latency
+		s.gpu.dramTokens -= float64(len(bases))
+		lat = int64(s.cfg.GlobalLat) + occ - 1
+		if isAtom {
+			lat += int64(rec.Executing.Count())
+		}
+		return lat, occ
+	}
+
+	worst := int64(s.cfg.L1Lat)
+	dramSegs := 0
+	for _, b := range bases {
+		switch {
+		case isAtom:
+			// Fermi performs atomics in the L2: always at least L2
+			// latency; allocate there, never in L1.
+			if s.gpu.l2.Access(b) {
+				s.st.L2Hits++
+			} else {
+				s.st.L2Misses++
+				dramSegs++
+				if int64(s.cfg.GlobalLat) > worst {
+					worst = int64(s.cfg.GlobalLat)
+				}
+			}
+			if int64(s.cfg.L2Lat) > worst {
+				worst = int64(s.cfg.L2Lat)
+			}
+			s.l1.Invalidate(b)
+		case rec.IsStore:
+			// Write-through, no-allocate: probe L2 without charging
+			// DRAM on hit; drop any stale L1 copy.
+			s.l1.Invalidate(b)
+			if s.gpu.l2.Access(b) {
+				s.st.L2Hits++
+			} else {
+				s.st.L2Misses++
+				dramSegs++
+			}
+		default: // load
+			if s.l1.Access(b) {
+				s.st.L1Hits++
+				continue
+			}
+			s.st.L1Misses++
+			if s.gpu.l2.Access(b) {
+				s.st.L2Hits++
+				if int64(s.cfg.L2Lat) > worst {
+					worst = int64(s.cfg.L2Lat)
+				}
+			} else {
+				s.st.L2Misses++
+				dramSegs++
+				if int64(s.cfg.GlobalLat) > worst {
+					worst = int64(s.cfg.GlobalLat)
+				}
+			}
+		}
+	}
+	s.gpu.dramTokens -= float64(dramSegs)
+	lat = worst + occ - 1
+	if isAtom {
+		lat += int64(rec.Executing.Count())
+	}
+	return lat, occ
+}
+
+// tick advances the SM by one cycle. Returns true if any work remains.
+func (s *sm) tick(k *Kernel, now int64) bool {
+	if s.err != nil {
+		return false
+	}
+	busy := len(s.warps) > 0
+	if busy {
+		s.lastBusy = now
+	}
+	if s.stall > 0 {
+		s.stall--
+		return busy
+	}
+	issued := 0
+	for sched := 0; sched < s.cfg.NumSchedulers; sched++ {
+		if wc := s.pick(k, sched, now); wc != nil {
+			s.issue(wc, k, sched, now)
+			issued++
+			if s.err != nil {
+				return false
+			}
+		}
+	}
+	if issued == 0 {
+		// Nothing issuable: the execution units are idle this cycle.
+		s.st.IdleIssueSlots++
+		s.engine.IdleCycle(now)
+	}
+	return busy
+}
+
+// pick selects the next warp for one scheduler. With two schedulers,
+// warps are partitioned by parity of their position in dispatch order
+// (Fermi-style even/odd warp ownership).
+func (s *sm) pick(k *Kernel, sched int, now int64) *warpCtx {
+	n := len(s.warps)
+	if n == 0 {
+		return nil
+	}
+	mine := func(i int) bool {
+		return s.cfg.NumSchedulers == 1 || i%s.cfg.NumSchedulers == sched
+	}
+	if s.cfg.Sched == arch.SchedGTO {
+		// Greedy: stick with the last warp while it can issue.
+		if g := s.greedy[sched]; g >= 0 && g < n && mine(g) && s.issuable(s.warps[g], k, sched, now) {
+			return s.warps[g]
+		}
+		// Then oldest: scan in dispatch (age) order.
+		for i := 0; i < n; i++ {
+			if mine(i) && s.issuable(s.warps[i], k, sched, now) {
+				s.greedy[sched] = i
+				return s.warps[i]
+			}
+		}
+		s.greedy[sched] = -1
+		return nil
+	}
+	// Loose round-robin.
+	for i := 0; i < n; i++ {
+		idx := (s.rr[sched] + i) % n
+		if mine(idx) && s.issuable(s.warps[idx], k, sched, now) {
+			s.rr[sched] = idx + 1
+			return s.warps[idx]
+		}
+	}
+	return nil
+}
+
+func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
+	var perturb exec.Perturb
+	if s.gpu.fault != nil {
+		perturb = func(thread int, unit isa.UnitClass, golden uint32) uint32 {
+			lane := s.cfg.LaneForThread(thread)
+			v, changed := s.gpu.fault.Perturb(s.id, now, lane, unit, golden)
+			if changed {
+				s.st.FaultsActivated++
+			}
+			return v
+		}
+	}
+	ctx := &exec.Context{Global: s.gpu.Mem, Shared: wc.block.shared, Params: k.Params, Shadow: wc.block.shadow}
+	rec, err := exec.Step(ctx, k.Prog, wc.warp, wc.regs, s.cfg.CoalesceBytes, s.cfg.NumSharedBanks, perturb)
+	if err != nil {
+		s.err = fmt.Errorf("sm%d block %d warp %d: %w", s.id, wc.block.id, wc.warp.ID, err)
+		return
+	}
+
+	if s.gpu.tracer != nil {
+		s.gpu.tracer.Emit(trace.Event{
+			Cycle: now, SM: s.id, WarpGID: wc.gid,
+			BlockID: wc.block.id, WarpID: wc.warp.ID,
+			PC: rec.PC, Op: rec.Instr.Op, Unit: rec.Unit,
+			Executing: rec.Executing, Divergent: rec.Divergent,
+			Stores: rec.IsStore,
+		})
+	}
+
+	// --- statistics taps ---
+	s.st.WarpInstrs++
+	nExec := rec.Executing.Count()
+	s.st.ThreadInstrs += int64(nExec)
+	if rec.Unit != isa.UnitCTRL {
+		if nExec > 0 {
+			s.st.ActiveHist[stats.ActiveBucket(nExec)]++
+		}
+		s.st.TypeHist[rec.Unit]++
+		s.st.Runs.Observe(rec.Unit)
+		s.st.UnitOps[rec.Unit]++
+		// Bank-level accounting: a 128-bit bank entry feeds a whole
+		// cluster, so register traffic is counted per warp instruction.
+		s.st.RegFileReads += int64(rec.Instr.Op.NumSrc())
+		if rec.DstValid {
+			s.st.RegFileWrites++
+		}
+		if rec.IsMem {
+			switch rec.Instr.Space {
+			case isa.SpaceShared, isa.SpaceParam:
+				s.st.SharedAccesses++
+			default:
+				s.st.GlobalAccesses++
+			}
+		}
+	}
+	if wc.tracked && s.st.RAW != nil && rec.Unit != isa.UnitCTRL {
+		for _, r := range rec.Instr.Reads() {
+			s.st.RAW.Read(r, now)
+		}
+		if rec.DstValid {
+			s.st.RAW.Write(rec.Dst, now)
+		}
+	}
+
+	// --- timing updates ---
+	var lat, occ int64
+	if rec.IsMem {
+		lat, occ = s.memCosts(rec)
+	} else {
+		lat, occ = s.latency(rec), 1
+	}
+	switch rec.Unit {
+	case isa.UnitSP:
+		s.spBusy[sched] = now + occ
+	case isa.UnitSFU:
+		s.sfuBusy = now + occ
+	case isa.UnitLDST:
+		s.ldstBusy = now + occ
+	}
+	if rec.DstValid {
+		if rec.Unit != isa.UnitCTRL {
+			if rb := s.regBankConflictCycles(rec.Instr); rb > 0 {
+				lat += rb
+				s.st.RegBankConflicts += rb
+			}
+		}
+		wc.ready[rec.Dst] = now + lat
+	}
+
+	// --- control events ---
+	switch {
+	case rec.IsBarrier:
+		wc.block.atBarrier++
+		s.maybeReleaseBarrier(wc.block)
+	case rec.IsExit && wc.warp.Done():
+		wc.block.live--
+		s.maybeReleaseBarrier(wc.block)
+		if wc.block.live == 0 {
+			s.retire(wc.block)
+		}
+	}
+
+	// --- Warped-DMR hook ---
+	phys := physMask(s.cfg, rec.Executing)
+	s.stall += s.engine.Issue(core.IssueInfo{
+		Rec:     rec,
+		WarpGID: wc.gid,
+		Phys:    phys,
+		Width:   wc.warp.Width(),
+		Cycle:   now,
+	})
+}
+
+// physMask converts a logical thread-slot mask to a physical-lane mask
+// under the configured thread->core mapping.
+func physMask(cfg arch.Config, logical simt.Mask) simt.Mask {
+	if cfg.Mapping == arch.MapLinear {
+		return logical
+	}
+	var out simt.Mask
+	for t := 0; t < 32; t++ {
+		if logical.Has(t) {
+			out |= 1 << uint(cfg.LaneForThread(t))
+		}
+	}
+	return out
+}
+
+func (s *sm) maybeReleaseBarrier(b *blockCtx) {
+	if b.atBarrier == 0 || b.atBarrier < b.live {
+		return
+	}
+	for _, wc := range b.warps {
+		wc.warp.AtBarrier = false
+	}
+	b.atBarrier = 0
+}
+
+// retire removes a finished block and its warps from the SM.
+func (s *sm) retire(b *blockCtx) {
+	kept := s.blocks[:0]
+	for _, x := range s.blocks {
+		if x != b {
+			kept = append(kept, x)
+		}
+	}
+	s.blocks = kept
+	wk := s.warps[:0]
+	for _, wc := range s.warps {
+		if wc.block != b {
+			wk = append(wk, wc)
+		}
+	}
+	s.warps = wk
+	s.threadsIn -= b.threads
+	s.gpu.blocksDone++
+	for i := range s.rr {
+		if s.rr[i] >= len(s.warps) {
+			s.rr[i] = 0
+		}
+		s.greedy[i] = -1
+	}
+}

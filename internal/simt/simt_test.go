@@ -1,0 +1,283 @@
+package simt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullMask(t *testing.T) {
+	if FullMask(32) != 0xFFFFFFFF {
+		t.Error("FullMask(32) wrong")
+	}
+	if FullMask(1) != 1 || FullMask(4) != 0xF {
+		t.Error("narrow masks wrong")
+	}
+	if FullMask(0) != 0 {
+		t.Error("FullMask(0) wrong")
+	}
+}
+
+func TestMaskHelpers(t *testing.T) {
+	m := Mask(0b1011)
+	if m.Count() != 3 {
+		t.Error("Count wrong")
+	}
+	if !m.Has(0) || !m.Has(1) || m.Has(2) || !m.Has(3) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestUniformFlow(t *testing.T) {
+	w := NewWarp(0, 0, 32)
+	if w.PC() != 0 || w.ActiveMask() != FullMask(32) {
+		t.Fatal("initial state wrong")
+	}
+	w.Advance()
+	w.Advance()
+	if w.PC() != 2 {
+		t.Errorf("PC = %d, want 2", w.PC())
+	}
+	w.Jump(10)
+	if w.PC() != 10 {
+		t.Errorf("PC = %d after jump", w.PC())
+	}
+	if w.StackDepth() != 1 {
+		t.Error("uniform flow must not grow the stack")
+	}
+}
+
+func TestIfElseDivergence(t *testing.T) {
+	// if (taken) { pc 5..7 } else { pc 1..4 } reconverging at 8.
+	w := NewWarp(0, 0, 32)
+	taken := Mask(0x0000FFFF)
+	if err := w.Diverge(taken, FullMask(32), 5, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Taken path runs first.
+	if w.PC() != 5 || w.ActiveMask() != taken {
+		t.Fatalf("taken path at pc %d mask %08x", w.PC(), w.ActiveMask())
+	}
+	w.Advance()
+	w.Advance()
+	w.Advance() // reaches pc 8 = reconv -> pop
+	if w.PC() != 1 || w.ActiveMask() != FullMask(32)&^taken {
+		t.Fatalf("else path at pc %d mask %08x", w.PC(), w.ActiveMask())
+	}
+	for w.PC() != 8 {
+		w.Advance()
+	}
+	if w.ActiveMask() != FullMask(32) {
+		t.Fatalf("reconverged mask %08x", w.ActiveMask())
+	}
+	if w.StackDepth() != 1 {
+		t.Errorf("stack depth %d after reconvergence", w.StackDepth())
+	}
+}
+
+func TestNestedDivergence(t *testing.T) {
+	w := NewWarp(0, 0, 32)
+	outer := Mask(0x0000FFFF)
+	if err := w.Diverge(outer, FullMask(32), 10, 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the taken path, diverge again.
+	inner := Mask(0x000000FF)
+	if err := w.Diverge(inner, outer, 15, 11, 18); err != nil {
+		t.Fatal(err)
+	}
+	if w.PC() != 15 || w.ActiveMask() != inner {
+		t.Fatalf("inner taken at pc %d mask %08x", w.PC(), w.ActiveMask())
+	}
+	// Run inner taken to 18, then inner else 11..18, then outer merged at 18.
+	for w.ActiveMask() == inner {
+		w.Advance()
+	}
+	if w.PC() != 11 || w.ActiveMask() != outer&^inner {
+		t.Fatalf("inner else at pc %d mask %08x", w.PC(), w.ActiveMask())
+	}
+	for w.PC() != 18 || w.ActiveMask() != outer {
+		w.Advance()
+	}
+	// Outer taken continues to 20, then outer else from 1.
+	w.Advance()
+	w.Advance()
+	if w.PC() != 1 || w.ActiveMask() != FullMask(32)&^outer {
+		t.Fatalf("outer else at pc %d mask %08x", w.PC(), w.ActiveMask())
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivergeRejectsBadMasks(t *testing.T) {
+	w := NewWarp(0, 0, 32)
+	if err := w.Diverge(0, FullMask(32), 1, 2, 3); err == nil {
+		t.Error("empty taken mask accepted")
+	}
+	if err := w.Diverge(FullMask(32), FullMask(32), 1, 2, 3); err == nil {
+		t.Error("non-divergent (all taken) accepted")
+	}
+	// Taken mask outside the executing set must be rejected.
+	if err := w.Diverge(Mask(0xF0), Mask(0x0F), 1, 2, 3); err == nil {
+		t.Error("taken mask outside executing set accepted")
+	}
+}
+
+func TestExitAllLanes(t *testing.T) {
+	w := NewWarp(0, 0, 32)
+	w.Exit(FullMask(32))
+	if !w.Done() {
+		t.Error("warp should be done")
+	}
+}
+
+func TestGuardedPartialExit(t *testing.T) {
+	w := NewWarp(0, 0, 32)
+	w.Exit(Mask(0x0000FFFF)) // half the lanes exit
+	if w.Done() {
+		t.Fatal("half the warp still alive")
+	}
+	if w.ActiveMask() != Mask(0xFFFF0000) {
+		t.Errorf("surviving mask %08x", w.ActiveMask())
+	}
+	if w.PC() != 1 {
+		t.Errorf("survivors should advance past exit, pc %d", w.PC())
+	}
+	w.Exit(w.ActiveMask())
+	if !w.Done() {
+		t.Error("warp should now be done")
+	}
+}
+
+func TestExitInsideDivergentPath(t *testing.T) {
+	w := NewWarp(0, 0, 32)
+	taken := Mask(0x000000FF)
+	if err := w.Diverge(taken, FullMask(32), 10, 1, 20); err != nil {
+		t.Fatal(err)
+	}
+	// The whole taken path exits early.
+	w.Exit(taken)
+	if w.Done() {
+		t.Fatal("else path still pending")
+	}
+	if w.PC() != 1 || w.ActiveMask() != FullMask(32)&^taken {
+		t.Fatalf("else path at pc %d mask %08x", w.PC(), w.ActiveMask())
+	}
+	// Else path reconverges; only its lanes remain at the merge point.
+	for w.PC() != 20 {
+		w.Advance()
+	}
+	if w.ActiveMask() != FullMask(32)&^taken {
+		t.Errorf("merged mask %08x should exclude exited lanes", w.ActiveMask())
+	}
+}
+
+func TestNarrowWarp(t *testing.T) {
+	w := NewWarp(0, 0, 7)
+	if w.Width() != 7 || w.ActiveMask() != FullMask(7) {
+		t.Fatal("narrow warp init wrong")
+	}
+	w.Exit(FullMask(7))
+	if !w.Done() {
+		t.Error("narrow warp should finish")
+	}
+}
+
+// TestLoopDivergence models a loop where lanes retire one per iteration
+// (like a variable-trip-count while loop): backward branch with
+// reconvergence at the fall-through.
+func TestLoopDivergence(t *testing.T) {
+	w := NewWarp(0, 0, 4)
+	// Program: pc0 body, pc1 branch (continue -> 0), pc2 after-loop.
+	trips := []int{1, 2, 3, 4} // per-lane loop iterations
+	iter := make([]int, 4)
+	for steps := 0; steps < 200 && w.PC() != 2; steps++ {
+		switch w.PC() {
+		case 0:
+			for l := 0; l < 4; l++ {
+				if w.ActiveMask().Has(l) {
+					iter[l]++
+				}
+			}
+			w.Advance()
+		case 1:
+			var cont Mask
+			exec := w.ActiveMask()
+			for l := 0; l < 4; l++ {
+				if exec.Has(l) && iter[l] < trips[l] {
+					cont |= 1 << uint(l)
+				}
+			}
+			switch {
+			case cont == exec:
+				w.Jump(0)
+			case cont == 0:
+				w.Advance()
+			default:
+				if err := w.Diverge(cont, exec, 0, 2, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.PC() != 2 || w.ActiveMask() != FullMask(4) {
+		t.Fatalf("loop did not reconverge: pc %d mask %x", w.PC(), w.ActiveMask())
+	}
+	for l, n := range iter {
+		if n != trips[l] {
+			t.Errorf("lane %d ran %d iterations, want %d", l, n, trips[l])
+		}
+	}
+}
+
+// Property: random structured divergence/advance/exit sequences keep
+// the stack invariants intact and always terminate.
+func TestRandomWalkInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWarp(0, 0, 32)
+		for step := 0; step < 300 && !w.Done(); step++ {
+			if err := w.CheckInvariants(); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			exec := w.ActiveMask()
+			switch rng.Intn(5) {
+			case 0: // divergent branch with random split
+				taken := exec & Mask(rng.Uint32())
+				if taken != 0 && taken != exec {
+					pc := w.PC()
+					if err := w.Diverge(taken, exec, pc+1+rng.Intn(3), pc+1, pc+4+rng.Intn(4)); err != nil {
+						return false
+					}
+					continue
+				}
+				w.Advance()
+			case 1: // guarded exit of a random subset
+				dying := exec & Mask(rng.Uint32())
+				if dying != 0 {
+					w.Exit(dying)
+					continue
+				}
+				w.Advance()
+			default:
+				w.Advance()
+			}
+		}
+		// Force termination and re-check.
+		if !w.Done() {
+			w.Exit(w.ActiveMask())
+			for !w.Done() {
+				w.Exit(w.ActiveMask())
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

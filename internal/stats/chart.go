@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HBar renders a horizontal bar chart: one labeled bar per value.
+// maxVal scales the bars; pass 0 to auto-scale to the largest value.
+func HBar(title string, labels []string, values []float64, width int, maxVal float64, format string) string {
+	if width <= 0 {
+		width = 50
+	}
+	if format == "" {
+		format = "%.2f"
+	}
+	if maxVal <= 0 {
+		for _, v := range values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if maxVal == 0 {
+			maxVal = 1
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := int(v / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s| "+format+"\n",
+			labelW, label, strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return b.String()
+}
+
+// stackRunes are the fill characters for stacked segments, in order.
+var stackRunes = []rune{'#', '=', '+', '-', '.', '~', ':'}
+
+// Stacked renders a 100%-stacked horizontal chart: each row's fractions
+// (summing to ~1) fill the width with one rune per segment, plus a
+// legend mapping runes to segment names — an ASCII rendition of the
+// paper's Fig. 1 and Fig. 5 stacked-bar charts.
+func Stacked(title string, labels []string, rows [][]float64, segments []string, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	// Legend.
+	var legend []string
+	for i, s := range segments {
+		legend = append(legend, fmt.Sprintf("%c=%s", stackRunes[i%len(stackRunes)], s))
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Join(legend, "  "))
+	for r, row := range rows {
+		label := ""
+		if r < len(labels) {
+			label = labels[r]
+		}
+		var bar strings.Builder
+		used := 0
+		for si, frac := range row {
+			n := int(frac*float64(width) + 0.5)
+			if used+n > width {
+				n = width - used
+			}
+			bar.WriteString(strings.Repeat(string(stackRunes[si%len(stackRunes)]), n))
+			used += n
+		}
+		if used < width {
+			bar.WriteString(strings.Repeat(" ", width-used))
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, label, bar.String())
+	}
+	return b.String()
+}

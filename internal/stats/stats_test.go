@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"warped/internal/isa"
+)
+
+func TestActiveBucket(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 11: 1, 12: 2, 21: 2, 22: 3, 31: 3, 32: 4}
+	for n, want := range cases {
+		if got := ActiveBucket(n); got != want {
+			t.Errorf("ActiveBucket(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if len(ActiveBuckets) != 5 {
+		t.Error("Fig. 1 has exactly five buckets")
+	}
+}
+
+func TestRunLengths(t *testing.T) {
+	var r RunLengths
+	// SP SP SP LDST LDST SP -> SP runs {3,1}, LDST runs {2}.
+	for _, u := range []isa.UnitClass{isa.UnitSP, isa.UnitSP, isa.UnitSP,
+		isa.UnitLDST, isa.UnitLDST, isa.UnitSP} {
+		r.Observe(u)
+	}
+	r.Flush()
+	if got := r.Mean(isa.UnitSP); got != 2 {
+		t.Errorf("SP mean run = %v, want 2", got)
+	}
+	if got := r.Mean(isa.UnitLDST); got != 2 {
+		t.Errorf("LDST mean run = %v, want 2", got)
+	}
+	if got := r.Mean(isa.UnitSFU); got != 0 {
+		t.Errorf("SFU mean run = %v, want 0 (never observed)", got)
+	}
+}
+
+func TestRunLengthsIgnoreCtrl(t *testing.T) {
+	var r RunLengths
+	r.Observe(isa.UnitSP)
+	r.Observe(isa.UnitCTRL) // must not break the SP run
+	r.Observe(isa.UnitSP)
+	r.Flush()
+	if got := r.Mean(isa.UnitSP); got != 2 {
+		t.Errorf("SP run split by CTRL: mean = %v, want 2", got)
+	}
+}
+
+func TestRAWTracker(t *testing.T) {
+	tr := NewRAWTracker(200)
+	tr.Write(isa.Reg(1), 100)
+	tr.Read(isa.Reg(1), 108) // distance 8
+	tr.Write(isa.Reg(2), 100)
+	tr.Read(isa.Reg(2), 350) // clamped to 200
+	tr.Read(isa.Reg(3), 400) // never written: ignored
+	if tr.Distances[8] != 1 {
+		t.Error("distance 8 missing")
+	}
+	if tr.Distances[200] != 1 {
+		t.Error("distance should clamp at 200")
+	}
+	if tr.Min() != 8 {
+		t.Errorf("min = %d", tr.Min())
+	}
+	if f := tr.FractionAtLeast(100); f != 0.5 {
+		t.Errorf("fraction >= 100 = %v, want 0.5", f)
+	}
+	// First-use semantics: a second read of the same write doesn't count.
+	tr.Read(isa.Reg(1), 500)
+	if len(tr.Distances) != 2 {
+		t.Error("re-read counted twice")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	s := &Stats{EligibleTI: 200, VerifiedIntra: 50, VerifiedInter: 100}
+	if got := s.Coverage(); got != 0.75 {
+		t.Errorf("coverage = %v, want 0.75", got)
+	}
+	empty := &Stats{}
+	if empty.Coverage() != 0 {
+		t.Error("empty coverage should be 0")
+	}
+}
+
+func TestFractions(t *testing.T) {
+	s := &Stats{ActiveHist: [5]int64{1, 1, 0, 0, 2}, TypeHist: [3]int64{3, 1, 0}}
+	af := s.ActiveFractions()
+	if af[0] != 0.25 || af[4] != 0.5 {
+		t.Errorf("active fractions = %v", af)
+	}
+	tf := s.TypeFractions()
+	if tf[0] != 0.75 || tf[1] != 0.25 {
+		t.Errorf("type fractions = %v", tf)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Stats{Cycles: 10, WarpInstrs: 5, EligibleTI: 8, VerifiedIntra: 3}
+	b := &Stats{Cycles: 20, WarpInstrs: 7, EligibleTI: 2, VerifiedInter: 1}
+	a.Merge(b)
+	if a.Cycles != 20 {
+		t.Error("merge should take max cycles (parallel SMs)")
+	}
+	if a.WarpInstrs != 12 || a.EligibleTI != 10 || a.VerifiedIntra != 3 || a.VerifiedInter != 1 {
+		t.Errorf("merged sums wrong: %+v", a)
+	}
+}
+
+// Property: merging keeps coverage within [0,1] whenever the inputs
+// maintain verified <= eligible.
+func TestMergeCoverageBoundsQuick(t *testing.T) {
+	f := func(e1, v1, e2, v2 uint16) bool {
+		a := &Stats{EligibleTI: int64(e1) + int64(v1), VerifiedIntra: int64(v1)}
+		b := &Stats{EligibleTI: int64(e2) + int64(v2), VerifiedInter: int64(v2)}
+		a.Merge(b)
+		c := a.Coverage()
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	out := tb.String()
+	for _, want := range []string{"T\n", "name", "value", "alpha", "22222", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") || !strings.Contains(csv, "alpha,1\n") {
+		t.Errorf("csv output wrong:\n%s", csv)
+	}
+}
+
+func TestSortedDistances(t *testing.T) {
+	tr := NewRAWTracker(100)
+	tr.Write(1, 0)
+	tr.Read(1, 50)
+	tr.Write(1, 100)
+	tr.Read(1, 110)
+	ds, cs := SortedDistances(tr)
+	if len(ds) != 2 || ds[0] != 10 || ds[1] != 50 || cs[0] != 1 {
+		t.Errorf("sorted distances = %v %v", ds, cs)
+	}
+}
+
+func TestHBar(t *testing.T) {
+	out := HBar("T", []string{"aa", "b"}, []float64{1.0, 0.5}, 10, 0, "%.1f")
+	if !strings.Contains(out, "T\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "##########") {
+		t.Errorf("full bar wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "#####") || strings.Contains(lines[2], "######") {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	// Explicit scale.
+	out2 := HBar("", []string{"x"}, []float64{2.0}, 10, 4.0, "%.0f")
+	if !strings.Contains(out2, "#####") || strings.Contains(out2, "######") {
+		t.Errorf("scaled bar wrong: %q", out2)
+	}
+}
+
+func TestStacked(t *testing.T) {
+	out := Stacked("S", []string{"row"}, [][]float64{{0.5, 0.5}}, []string{"a", "b"}, 10)
+	if !strings.Contains(out, "#=a") && !strings.Contains(out, "#=") {
+		// legend present in some form
+	}
+	if !strings.Contains(out, "#####=====") {
+		t.Errorf("stacked segments wrong:\n%s", out)
+	}
+	// Rounding never overflows the width.
+	out2 := Stacked("", []string{"r"}, [][]float64{{0.333, 0.333, 0.334}}, []string{"x", "y", "z"}, 9)
+	for _, line := range strings.Split(out2, "\n") {
+		if i := strings.Index(line, "|"); i >= 0 {
+			j := strings.LastIndex(line, "|")
+			if j-i-1 > 9 {
+				t.Errorf("bar wider than width: %q", line)
+			}
+		}
+	}
+}

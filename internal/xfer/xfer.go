@@ -1,0 +1,35 @@
+// Package xfer models host<->device transfer time for the Fig. 10
+// end-to-end comparison. The paper measured real PCIe transfers with
+// the CUDA timer API; we substitute an analytical model — a fixed
+// per-call launch latency plus bytes over sustained PCIe bandwidth —
+// which preserves what Fig. 10 needs: R-Naive pays the transfer twice
+// in both directions, R-Thread copies twice the output back, and
+// DMTR/Warped-DMR pay exactly the original transfer cost.
+package xfer
+
+// Model is a PCIe-like transfer cost model.
+type Model struct {
+	BandwidthBps float64 // sustained bytes per second
+	LatencyS     float64 // fixed per-call overhead in seconds
+}
+
+// PCIe2x16 returns a PCIe Gen2 x16 model (Fermi-era): ~5.2 GB/s
+// sustained with ~15 us per-call overhead.
+func PCIe2x16() Model {
+	return Model{BandwidthBps: 5.2e9, LatencyS: 15e-6}
+}
+
+// Time returns the seconds needed to move n bytes in one call.
+// Zero-byte transfers cost nothing (the call is skipped).
+func (m Model) Time(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.LatencyS + float64(n)/m.BandwidthBps
+}
+
+// RoundTrip returns the seconds for an input upload plus output
+// download of the given sizes.
+func (m Model) RoundTrip(inBytes, outBytes int64) float64 {
+	return m.Time(inBytes) + m.Time(outBytes)
+}

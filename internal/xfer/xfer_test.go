@@ -1,0 +1,34 @@
+package xfer
+
+import "testing"
+
+func TestTimeModel(t *testing.T) {
+	m := PCIe2x16()
+	if m.Time(0) != 0 {
+		t.Error("zero bytes must cost nothing")
+	}
+	small := m.Time(4)
+	if small < m.LatencyS {
+		t.Error("every call pays the fixed latency")
+	}
+	big := m.Time(100 << 20)
+	if big <= small {
+		t.Error("more bytes must take longer")
+	}
+	// 5.2 GB/s: a 5.2 GB transfer takes ~1 s plus latency.
+	if got := m.Time(5_200_000_000); got < 1.0 || got > 1.01 {
+		t.Errorf("5.2GB at 5.2GB/s = %v s, want ~1", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := Model{BandwidthBps: 1e9, LatencyS: 1e-5}
+	rt := m.RoundTrip(1e6, 2e6)
+	want := m.Time(1e6) + m.Time(2e6)
+	if rt != want {
+		t.Errorf("RoundTrip = %v, want %v", rt, want)
+	}
+	if m.RoundTrip(0, 0) != 0 {
+		t.Error("empty round trip should be free")
+	}
+}

@@ -1,0 +1,292 @@
+// Package warped is the public API of the Warped-DMR reproduction: a
+// cycle-level SIMT GPU simulator with the paper's opportunistic
+// dual-modular-redundancy error detection (MICRO-45, 2012) layered on
+// its issue stage, the 11 workloads of the paper's Table 4, the
+// compared software/temporal baselines, and harnesses that regenerate
+// every figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := warped.WarpedDMRConfig()
+//	res, err := warped.RunBenchmark("MatrixMul", cfg)
+//	fmt.Printf("coverage %.1f%%, %d cycles\n", 100*res.Coverage(), res.Cycles)
+//
+// Custom kernels are written in a PTX-like assembly (see package
+// internal/asm for the syntax) and launched on a GPU instance:
+//
+//	prog, _ := warped.Assemble(src)
+//	gpu, _ := warped.NewGPU(cfg)
+//	st, _ := gpu.Launch(&warped.Kernel{Prog: prog, GridX: 4, GridY: 1,
+//	    BlockX: 128, BlockY: 1, Params: warped.NewParams(ptr)}, warped.LaunchOpts{})
+package warped
+
+import (
+	"fmt"
+
+	"warped/internal/arch"
+	"warped/internal/asm"
+	"warped/internal/baselines"
+	"warped/internal/core"
+	"warped/internal/experiments"
+	"warped/internal/fault"
+	"warped/internal/isa"
+	"warped/internal/kernels"
+	"warped/internal/mem"
+	"warped/internal/power"
+	"warped/internal/sim"
+	"warped/internal/stats"
+	"warped/internal/trace"
+	"warped/internal/xfer"
+)
+
+// Re-exported configuration types and constructors.
+type (
+	// Config is the simulated machine + Warped-DMR configuration.
+	Config = arch.Config
+	// MappingPolicy selects the thread-to-lane mapping.
+	MappingPolicy = arch.MappingPolicy
+	// DMRMode selects which DMR mechanisms are active.
+	DMRMode = arch.DMRMode
+)
+
+// Mapping policies and DMR modes.
+const (
+	MapLinear    = arch.MapLinear
+	MapClusterRR = arch.MapClusterRR
+
+	DMROff         = arch.DMROff
+	DMRIntra       = arch.DMRIntra
+	DMRInter       = arch.DMRInter
+	DMRFull        = arch.DMRFull
+	DMRTemporalAll = arch.DMRTemporalAll
+)
+
+// PaperConfig returns the baseline machine of the paper's Table 3
+// (30 SMs, 32-wide SIMT, 4-lane clusters) with DMR disabled.
+func PaperConfig() Config { return arch.PaperConfig() }
+
+// WarpedDMRConfig returns the paper's recommended configuration: full
+// Warped-DMR with a 10-entry ReplayQ and round-robin cluster mapping.
+func WarpedDMRConfig() Config { return arch.WarpedDMRConfig() }
+
+// Simulator types.
+type (
+	// GPU is a simulated chip; launch kernels on it.
+	GPU = sim.GPU
+	// Kernel is one launchable grid.
+	Kernel = sim.Kernel
+	// LaunchOpts are per-launch options (fault hooks, RAW tracking).
+	LaunchOpts = sim.LaunchOpts
+	// Stats is the measurement set produced by a run.
+	Stats = stats.Stats
+	// Program is an assembled kernel.
+	Program = isa.Program
+	// ErrorEvent is a detected original/redundant mismatch.
+	ErrorEvent = core.ErrorEvent
+	// Fault is an injectable hardware defect.
+	Fault = fault.Fault
+	// Injector applies faults during simulation.
+	Injector = fault.Injector
+	// Benchmark is one of the paper's Table 4 workloads.
+	Benchmark = kernels.Benchmark
+	// PowerParams are the analytical power-model constants.
+	PowerParams = power.Params
+	// PowerReport is a power/energy estimate for a run.
+	PowerReport = power.Report
+	// TransferModel is the PCIe transfer-time model.
+	TransferModel = xfer.Model
+	// Approach is one of the Fig. 10 error-detection schemes.
+	Approach = baselines.Approach
+	// Diagnoser attributes detected mismatches to a physical lane
+	// (the paper's SP-granularity isolation, §3.4).
+	Diagnoser = core.Diagnoser
+	// TraceEvent is one issued warp instruction (LaunchOpts.Trace).
+	TraceEvent = trace.Event
+	// TraceSink consumes trace events.
+	TraceSink = trace.Sink
+	// TraceRing buffers the last N trace events.
+	TraceRing = trace.Ring
+)
+
+// NewTraceRing builds a ring buffer trace sink holding n events.
+func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// NewDiagnoser builds a fault-lane diagnoser; feed it to
+// RunBenchmarkWithFaults as the error callback via (*Diagnoser).Observe.
+func NewDiagnoser() *Diagnoser { return core.NewDiagnoser() }
+
+// NewGPU builds a simulated GPU with the default 64 MB global memory.
+func NewGPU(cfg Config) (*GPU, error) { return sim.New(cfg, 0) }
+
+// NewGPUWithMemory builds a simulated GPU with a custom memory size.
+func NewGPUWithMemory(cfg Config, memBytes int) (*GPU, error) { return sim.New(cfg, memBytes) }
+
+// Assemble compiles PTX-like assembly source into a kernel program.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// NewParams builds a kernel parameter block from 32-bit words.
+func NewParams(words ...uint32) *mem.Params { return mem.NewParams(words...) }
+
+// Benchmarks returns the paper's 11 workloads in Figure-1 order.
+func Benchmarks() []*Benchmark { return kernels.All() }
+
+// ExtraBenchmarks returns the non-paper reference workloads
+// (reduction, transpose, histogram). They run like Table 4 workloads
+// but are excluded from the paper's experiments.
+func ExtraBenchmarks() []*Benchmark { return kernels.Extras() }
+
+// BenchmarkNames returns the workload names in Figure-1 order.
+func BenchmarkNames() []string { return kernels.Names() }
+
+// findBenchmark resolves a name against the paper suite, then extras.
+func findBenchmark(name string) (*Benchmark, error) {
+	if b, err := kernels.ByName(name); err == nil {
+		return b, nil
+	}
+	return kernels.ExtraByName(name)
+}
+
+// Result is the outcome of running one benchmark.
+type Result struct {
+	*Stats
+	Benchmark string
+}
+
+// RunBenchmark executes one named Table 4 workload (including output
+// validation against its host reference) under cfg.
+func RunBenchmark(name string, cfg Config) (*Result, error) {
+	b, err := findBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sim.New(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := kernels.Execute(g, b, sim.LaunchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Stats: st, Benchmark: name}, nil
+}
+
+// RunBenchmarkWithFaults executes a workload with fault injection; each
+// detected mismatch is reported through onError (which may be nil).
+// Note that corrupted outputs can fail the workload's validation — that
+// is the silent-data-corruption scenario Warped-DMR exists to flag.
+func RunBenchmarkWithFaults(name string, cfg Config, inj *Injector, onError func(ErrorEvent)) (*Result, error) {
+	return RunBenchmarkWithOpts(name, cfg, LaunchOpts{Fault: inj, OnError: onError})
+}
+
+// RunBenchmarkWithOpts executes a workload with full control over the
+// launch options (fault hooks, error thresholds, watchdog).
+func RunBenchmarkWithOpts(name string, cfg Config, opts LaunchOpts) (*Result, error) {
+	b, err := findBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	g, err := sim.New(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	run, err := b.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	total := &stats.Stats{}
+	for i, step := range run.Steps {
+		st, err := g.Launch(step.Kernel, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: launch %d: %w", name, i, err)
+		}
+		cycles := total.Cycles + st.Cycles
+		total.Merge(st)
+		total.Cycles = cycles
+		if step.Host != nil {
+			if err := step.Host(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{Stats: total, Benchmark: name}, nil
+}
+
+// EstimatePower applies the analytical power model to a finished run.
+func EstimatePower(cfg Config, st *Stats) PowerReport {
+	return power.Estimate(cfg, power.DefaultParams(), st)
+}
+
+// Experiment results, re-exported for programmatic use; each has a
+// Table() renderer. See cmd/experiments for the CLI that prints them.
+type (
+	Fig1Result      = experiments.Fig1Result
+	Fig5Result      = experiments.Fig5Result
+	Fig8aResult     = experiments.Fig8aResult
+	Fig8bResult     = experiments.Fig8bResult
+	Fig9aResult     = experiments.Fig9aResult
+	Fig9bResult     = experiments.Fig9bResult
+	Fig10Result     = experiments.Fig10Result
+	Fig11Result     = experiments.Fig11Result
+	CampaignResult  = experiments.CampaignResult
+	SamplingResult  = experiments.SamplingResult
+	SchedulerResult = experiments.SchedulerResult
+)
+
+// The Run* functions regenerate the paper's figures.
+var (
+	RunFig1             = experiments.RunFig1
+	RunFig5             = experiments.RunFig5
+	RunFig8a            = experiments.RunFig8a
+	RunFig8b            = experiments.RunFig8b
+	RunFig9a            = experiments.RunFig9a
+	RunFig9b            = experiments.RunFig9b
+	RunFig10            = experiments.RunFig10
+	RunFig11            = experiments.RunFig11
+	RunCampaign         = experiments.RunCampaign
+	RunSampling         = experiments.RunSampling
+	RunSchedulerStudy   = experiments.RunSchedulerStudy
+	RunDetectionLatency = experiments.RunDetectionLatency
+)
+
+// RetryResult reports a detect-and-retry run (the paper's §3.1 handling
+// sketch: re-schedule on transient errors, raise an exception when the
+// fault persists).
+type RetryResult struct {
+	*Result
+	Attempts   int  // total launches of the workload
+	Recovered  bool // a clean re-run followed at least one detection
+	GaveUp     bool // every attempt kept failing: treat as permanent
+	Detections int  // comparator mismatches across failed attempts
+}
+
+// RunBenchmarkWithRetry runs a workload under cfg with StopOnError
+// semantics and kernel-level re-execution: when a Warped-DMR comparator
+// flags a mismatch (or the corrupted run crashes), the whole workload
+// is re-executed from its inputs, up to maxAttempts times. Transient
+// faults vanish on the retry and the workload completes validated;
+// persistent faults exhaust the attempts, which is the signal to treat
+// the fault as permanent and re-route (see Diagnoser).
+func RunBenchmarkWithRetry(name string, cfg Config, inj *Injector, maxAttempts int) (*RetryResult, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	out := &RetryResult{}
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		out.Attempts = attempt
+		detections := 0
+		res, err := RunBenchmarkWithOpts(name, cfg, LaunchOpts{
+			Fault:       inj,
+			StopOnError: true,
+			OnError:     func(ErrorEvent) { detections++ },
+		})
+		out.Detections += detections
+		if err == nil && (res == nil || res.FaultsDetected == 0) {
+			out.Result = res
+			out.Recovered = attempt > 1
+			return out, nil
+		}
+		// Detected (or crashed): discard the attempt and retry.
+	}
+	out.GaveUp = true
+	return out, fmt.Errorf("warped: %s still failing after %d attempts: fault appears permanent", name, out.Attempts)
+}

@@ -1,0 +1,138 @@
+package warped
+
+import (
+	"math"
+	"testing"
+
+	"warped/internal/fault"
+	"warped/internal/isa"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	res, err := RunBenchmark("BitonicSort", WarpedDMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "BitonicSort" || res.Cycles <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if c := res.Coverage(); c <= 0 || c > 1 {
+		t.Errorf("coverage %v out of range", c)
+	}
+}
+
+func TestPublicBenchmarkRegistry(t *testing.T) {
+	if len(Benchmarks()) != 11 || len(BenchmarkNames()) != 11 {
+		t.Error("expected the paper's 11 workloads")
+	}
+	if _, err := RunBenchmark("NotABenchmark", PaperConfig()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPublicAssembleAndLaunch(t *testing.T) {
+	prog, err := Assemble(`
+.kernel square
+	mov  r0, %ctaid.x
+	mov  r1, %ntid.x
+	imad r2, r0, r1, %tid.x
+	ld.param r3, [0]
+	imul r4, r2, r2
+	shl  r5, r2, 2
+	iadd r5, r3, r5
+	st.global [r5], r4
+	exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := NewGPU(WarpedDMRConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 128
+	out := gpu.Mem.MustAlloc(4 * n)
+	st, err := gpu.Launch(&Kernel{
+		Prog: prog, GridX: 2, GridY: 1, BlockX: 64, BlockY: 1,
+		Params: NewParams(out),
+	}, LaunchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := gpu.Mem.ReadWords(out, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint32(i*i) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if st.Coverage() < 0.99 {
+		t.Errorf("full-warp kernel coverage %.3f, want ~1.0", st.Coverage())
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	inj := fault.NewInjector(&Fault{
+		Kind: fault.StuckAt, SM: 0, Lane: 1, Unit: isa.UnitSP, Bit: 0, StuckVal: 1,
+	})
+	detections := 0
+	res, err := RunBenchmarkWithFaults("SHA", WarpedDMRConfig(), inj,
+		func(ErrorEvent) { detections++ })
+	// The fault may crash the kernel (DUE) or be detected; either way
+	// it must not pass silently once activated.
+	if err == nil {
+		if res.FaultsActivated > 0 && res.FaultsDetected == 0 {
+			t.Error("activated fault went undetected")
+		}
+	}
+	_ = detections
+}
+
+func TestPublicPowerEstimate(t *testing.T) {
+	cfg := PaperConfig()
+	res, err := RunBenchmark("Laplace", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := EstimatePower(cfg, res.Stats)
+	if rep.TotalW <= 0 || rep.EnergyJ <= 0 {
+		t.Errorf("bad power report: %+v", rep)
+	}
+	if math.Abs(rep.EnergyJ-rep.TotalW*rep.TimeS) > 1e-12 {
+		t.Error("E != P*t")
+	}
+}
+
+func TestRunBenchmarkWithRetryTransient(t *testing.T) {
+	// A one-shot transient: the first attempt detects it, the retry is
+	// clean and validates.
+	inj := fault.NewInjector(&Fault{
+		Kind: fault.Transient, SM: 0, Lane: 2, Unit: isa.UnitSP, Bit: 3, Cycle: 5,
+	})
+	r, err := RunBenchmarkWithRetry("BitonicSort", WarpedDMRConfig(), inj, 3)
+	if err != nil {
+		t.Fatalf("transient should recover: %v", err)
+	}
+	if !r.Recovered || r.Attempts != 2 {
+		t.Errorf("expected recovery on attempt 2, got %+v", r)
+	}
+	if r.Detections == 0 {
+		t.Error("the first attempt should have detected the corruption")
+	}
+}
+
+func TestRunBenchmarkWithRetryPermanent(t *testing.T) {
+	// A stuck-at fault persists across retries: the helper gives up.
+	inj := fault.NewInjector(&Fault{
+		Kind: fault.StuckAt, SM: 0, Lane: 2, Unit: isa.UnitSP, Bit: 0, StuckVal: 1,
+	})
+	r, err := RunBenchmarkWithRetry("BitonicSort", WarpedDMRConfig(), inj, 3)
+	if err == nil || !r.GaveUp {
+		t.Fatalf("permanent fault should exhaust retries, got %+v, err %v", r, err)
+	}
+	if r.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", r.Attempts)
+	}
+}
