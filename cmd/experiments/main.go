@@ -31,8 +31,18 @@ func main() {
 		figID = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, sampling, schedulers, latency); empty = all")
 		csv   = flag.Bool("csv", false, "emit CSV")
 		chart = flag.Bool("chart", false, "render ASCII charts where available")
+		lint  = flag.String("lint", "on", "statically verify the bundled kernels before running: on|off")
 	)
 	flag.Parse()
+
+	// Long experiment runs should not discover a malformed kernel
+	// halfway through; verify the whole suite up front.
+	if *lint != "off" {
+		if err := kernels.LintAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	figures := []figure{
 		{"1", func() (*stats.Table, error) { r, err := warped.RunFig1(); return tbl(r, err) },

@@ -7,21 +7,30 @@
 //
 //	warpsim -bench MatrixMul -dmr full -mapping rr -replayq 10
 //	warpsim -list
+//	warpsim lint             # statically verify every bundled kernel
+//	warpsim lint my.asm      # statically verify kernel files
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"warped"
+	"warped/internal/asm"
+	"warped/internal/kernels"
 	"warped/internal/stats"
 	"warped/internal/trace"
+	"warped/internal/verify"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(runLint(os.Args[2:]))
+	}
 	var (
 		benchName = flag.String("bench", "", "benchmark to run (see -list)")
 		kernPath  = flag.String("kernel", "", "run a custom .asm kernel file instead of a benchmark")
@@ -38,8 +47,15 @@ func main() {
 		sms       = flag.Int("sms", 30, "number of SMs")
 		noShuffle = flag.Bool("no-lane-shuffle", false, "disable lane shuffling on replays")
 		noDrain   = flag.Bool("no-idle-drain", false, "disable ReplayQ draining on idle units")
+		lintMode  = flag.String("lint", "on", "statically verify kernels before running: on|off")
 	)
 	flag.Parse()
+
+	lint, err := parseLintMode(*lintMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("Table 4 workloads:")
@@ -90,11 +106,17 @@ func main() {
 	}
 
 	if *kernPath != "" {
-		if err := runCustom(cfg, *kernPath, *grid, *block, *shared, *params, *traceOut); err != nil {
+		if err := runCustom(cfg, *kernPath, *grid, *block, *shared, *params, *traceOut, lint); err != nil {
 			fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if lint {
+		if err := kernels.LintAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	res, err := warped.RunBenchmark(*benchName, cfg)
 	if err != nil {
@@ -104,8 +126,10 @@ func main() {
 	printResult(res, cfg)
 }
 
-// runCustom assembles and launches a user-provided kernel file.
-func runCustom(cfg warped.Config, path, grid, block string, shared int, paramList, traceOut string) error {
+// runCustom assembles and launches a user-provided kernel file. With
+// lint enabled, error-severity verifier findings abort the launch and
+// warnings print to stderr; -lint=off skips verification entirely.
+func runCustom(cfg warped.Config, path, grid, block string, shared int, paramList, traceOut string, lint bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -113,6 +137,15 @@ func runCustom(cfg warped.Config, path, grid, block string, shared int, paramLis
 	prog, err := warped.Assemble(string(src))
 	if err != nil {
 		return err
+	}
+	if lint {
+		fs := warped.Verify(prog)
+		if fs.Errors() > 0 {
+			fmt.Fprint(os.Stderr, fs.Dump(path))
+			return fmt.Errorf("kernel %q failed static verification with %d error(s) (use -lint=off to run anyway)",
+				prog.Name, fs.Errors())
+		}
+		fmt.Fprint(os.Stderr, fs.Dump(path)) // surviving findings are warnings
 	}
 	gx, gy, err := parseDims(grid)
 	if err != nil {
@@ -225,4 +258,62 @@ func printResult(res *warped.Result, cfg warped.Config) {
 	rep := warped.EstimatePower(cfg, st)
 	fmt.Printf("power estimate     %.1f W total (%.1f W dynamic), %.4f J\n",
 		rep.TotalW, rep.RuntimeW, rep.EnergyJ)
+}
+
+// parseLintMode maps the -lint flag value to a boolean.
+func parseLintMode(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "on", "true", "1":
+		return true, nil
+	case "off", "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("unknown -lint %q (want on or off)", s)
+}
+
+// runLint implements the `warpsim lint` subcommand: statically verify
+// kernel files (or, with no arguments, every bundled kernel) and print
+// findings in the greppable file:line: severity: rule: message format.
+// The exit status is 0 only when no finding of any severity remains.
+func runLint(files []string) int {
+	if len(files) == 0 {
+		if err := kernels.LintAll(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("warpsim lint: %d bundled kernels verify clean\n", len(kernels.Sources()))
+		return 0
+	}
+	status := 0
+	kernelCount := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warpsim lint: %v\n", err)
+			status = 1
+			continue
+		}
+		progs, err := asm.AssembleModule(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		names := make([]string, 0, len(progs))
+		for name := range progs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			kernelCount++
+			if fs := verify.Check(progs[name]); len(fs) > 0 {
+				fmt.Print(fs.Dump(path))
+				status = 1
+			}
+		}
+	}
+	if status == 0 {
+		fmt.Printf("warpsim lint: %d kernel(s) verify clean\n", kernelCount)
+	}
+	return status
 }

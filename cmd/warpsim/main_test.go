@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseDims(t *testing.T) {
 	cases := []struct {
@@ -28,5 +32,43 @@ func TestParseDims(t *testing.T) {
 		if err != nil || x != c.x || y != c.y {
 			t.Errorf("parseDims(%q) = (%d,%d,%v), want (%d,%d)", c.in, x, y, err, c.x, c.y)
 		}
+	}
+}
+
+func TestParseLintMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want bool
+		ok   bool
+	}{
+		{"on", true, true}, {"ON", true, true}, {"1", true, true},
+		{"off", false, true}, {"false", false, true},
+		{"maybe", false, false},
+	} {
+		got, err := parseLintMode(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("parseLintMode(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestRunLintBundled(t *testing.T) {
+	if status := runLint(nil); status != 0 {
+		t.Fatalf("runLint(bundled) = %d, want 0", status)
+	}
+}
+
+func TestRunLintBadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.asm")
+	src := ".kernel bad\n.reg 4\niadd r0, r1, 1\nexit\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if status := runLint([]string{path}); status != 1 {
+		t.Fatalf("runLint(bad file) = %d, want 1", status)
+	}
+	if status := runLint([]string{filepath.Join(dir, "missing.asm")}); status != 1 {
+		t.Fatalf("runLint(missing file) = %d, want 1", status)
 	}
 }

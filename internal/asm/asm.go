@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"warped/internal/isa"
+	"warped/internal/verify"
 )
 
 // Error describes an assembly failure with source position.
@@ -195,6 +196,33 @@ func MustAssemble(src string) *isa.Program {
 		panic(err)
 	}
 	return p
+}
+
+// VerifyError reports static-verification findings from
+// AssembleVerified. The assembled program is still available to callers
+// that want to run it anyway (the -lint=off escape hatch).
+type VerifyError struct {
+	Kernel   string
+	Findings verify.Findings
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("asm: kernel %q failed verification:\n%s", e.Kernel, e.Findings)
+}
+
+// AssembleVerified assembles one kernel and runs the static verifier
+// over the result. Error-severity findings (use-before-def, divergent
+// barriers, misaligned accesses, ...) are returned as a *VerifyError
+// alongside the program; warning-only programs assemble cleanly.
+func AssembleVerified(src string) (*isa.Program, error) {
+	p, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	if fs := verify.Check(p); fs.Errors() > 0 {
+		return p, &VerifyError{Kernel: p.Name, Findings: fs}
+	}
+	return p, nil
 }
 
 func stripComment(s string) string {
@@ -703,6 +731,11 @@ func AssembleModule(src string) (map[string]*isa.Program, error) {
 				ae.Line += chunkBase
 			}
 			return err
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i].Line > 0 { // keep 0 on synthesized exits
+				p.Instrs[i].Line += chunkBase
+			}
 		}
 		if _, dup := out[p.Name]; dup {
 			return errf(chunkBase+1, "duplicate kernel %q", p.Name)

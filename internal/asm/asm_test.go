@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -373,5 +374,74 @@ func TestAssembleModuleErrors(t *testing.T) {
 	_, err := AssembleModule(".kernel a\n\texit\n.kernel b\n\tbogus r0\n")
 	if err == nil || !strings.Contains(err.Error(), "line 4") {
 		t.Errorf("module error line wrong: %v", err)
+	}
+}
+
+func TestAssembleVerifiedClean(t *testing.T) {
+	p, err := AssembleVerified(`
+.kernel ok
+.reg 2
+mov r0, %tid.x
+shl r0, r0, 2
+ld.param r1, [0]
+iadd r1, r1, r0
+exit
+`)
+	if err != nil {
+		t.Fatalf("AssembleVerified: %v", err)
+	}
+	if p == nil || p.Name != "ok" {
+		t.Fatalf("program = %+v", p)
+	}
+}
+
+func TestAssembleVerifiedFindings(t *testing.T) {
+	// r1 is read before any write: the verifier must reject the kernel
+	// even though it assembles.
+	p, err := AssembleVerified(`
+.kernel bad
+.reg 4
+iadd r0, r1, 1
+exit
+`)
+	if err == nil {
+		t.Fatal("want verification error")
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error type = %T: %v", err, err)
+	}
+	if ve.Kernel != "bad" || ve.Findings.Errors() == 0 {
+		t.Fatalf("VerifyError = %+v", ve)
+	}
+	if !strings.Contains(err.Error(), "use-before-def") {
+		t.Errorf("error text %q lacks the rule tag", err)
+	}
+	if p == nil {
+		t.Error("program should still be returned alongside findings")
+	}
+}
+
+func TestAssembleVerifiedSyntaxError(t *testing.T) {
+	if _, err := AssembleVerified("bogus r0"); err == nil {
+		t.Fatal("want assembly error")
+	} else if _, ok := err.(*VerifyError); ok {
+		t.Fatal("syntax errors must not be wrapped as VerifyError")
+	}
+}
+
+func TestAssembleModuleLineRebase(t *testing.T) {
+	// Instruction lines must be module-absolute, not section-relative,
+	// so verifier findings on later kernels point at the right lines.
+	mod, err := AssembleModule(".kernel a\n\texit\n.kernel b\n\tmov r0, 1\n\texit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mod["b"]
+	if b == nil || len(b.Instrs) < 1 {
+		t.Fatalf("module = %+v", mod)
+	}
+	if got := b.Instrs[0].Line; got != 4 {
+		t.Errorf("b's mov is at module line %d, want 4", got)
 	}
 }

@@ -1,0 +1,55 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"warped/internal/asm"
+	"warped/internal/verify"
+)
+
+// TestSourcesComplete guards the lint registry against drift: every
+// bundled source must assemble, carry its real entry name, and the
+// count must match the benchmark suite's kernel inventory.
+func TestSourcesComplete(t *testing.T) {
+	srcs := Sources()
+	if len(srcs) != 16 {
+		t.Fatalf("Sources() = %d entries, want 16", len(srcs))
+	}
+	seen := map[string]bool{}
+	for _, s := range srcs {
+		if s.Name == "?" || s.Name == "" {
+			t.Errorf("%s: source did not assemble to a named kernel", s.File)
+		}
+		if !strings.HasPrefix(s.File, "internal/kernels/") {
+			t.Errorf("%s: file not repo-relative", s.File)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate kernel name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+// TestBundledKernelsVerifyClean is the acceptance gate: every bundled
+// kernel must pass the static verifier with zero findings, warnings
+// included.
+func TestBundledKernelsVerifyClean(t *testing.T) {
+	for _, s := range Sources() {
+		p, err := asm.Assemble(s.Src)
+		if err != nil {
+			t.Errorf("%s (%s): assemble: %v", s.File, s.Name, err)
+			continue
+		}
+		if fs := verify.Check(p); len(fs) > 0 {
+			t.Errorf("%s (%s): %d finding(s):\n%s", s.File, s.Name, len(fs), fs.Dump(s.File))
+		}
+	}
+}
+
+// TestLintAll exercises the aggregate entry point the CLIs use.
+func TestLintAll(t *testing.T) {
+	if err := LintAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"warped/internal/asm"
+	"warped/internal/verify"
+)
+
+// Source is one bundled kernel's assembly text plus the Go file that
+// embeds it, so lint diagnostics can point at the defining file.
+type Source struct {
+	Name string // kernel entry name (.entry)
+	File string // repo-relative Go file embedding the source
+	Src  string // assembly text
+}
+
+// sources lists every assembly kernel bundled with the benchmarks. The
+// generated sources (fft, matmul, sha) are built at init time, so this
+// table is populated lazily by Sources rather than at package init.
+var sources []Source
+
+func buildSources() []Source {
+	list := []struct {
+		file, src string
+	}{
+		{"internal/kernels/bfs.go", bfsSrc},
+		{"internal/kernels/bitonic.go", bitonicSrc},
+		{"internal/kernels/cufft.go", fftSrc},
+		{"internal/kernels/extras.go", reduceSrc},
+		{"internal/kernels/extras.go", transposeSrc},
+		{"internal/kernels/extras.go", histogramSrc},
+		{"internal/kernels/laplace.go", laplaceSrc},
+		{"internal/kernels/libor.go", liborSrc},
+		{"internal/kernels/matmul.go", matmulSrc},
+		{"internal/kernels/mum.go", mumSrc},
+		{"internal/kernels/nqueen.go", nqueenSrc},
+		{"internal/kernels/radixsort.go", radixHistSrc},
+		{"internal/kernels/radixsort.go", radixGatherSrc},
+		{"internal/kernels/scan.go", scanBlockSrc},
+		{"internal/kernels/scan.go", scanAddSrc},
+		{"internal/kernels/sha.go", shaSrc},
+	}
+	out := make([]Source, 0, len(list))
+	for _, e := range list {
+		name := "?"
+		if p, err := asm.Assemble(e.src); err == nil {
+			name = p.Name
+		}
+		out = append(out, Source{Name: name, File: e.file, Src: e.src})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Sources returns every bundled kernel source, sorted by file then name.
+func Sources() []Source {
+	if sources == nil {
+		sources = buildSources()
+	}
+	return sources
+}
+
+// LintAll assembles and verifies every bundled kernel. It returns nil
+// only when all sources assemble and produce zero verifier findings;
+// otherwise the error lists every diagnostic in the greppable
+// file:line: severity: rule: message format.
+func LintAll() error {
+	var report string
+	for _, s := range Sources() {
+		p, err := asm.Assemble(s.Src)
+		if err != nil {
+			report += fmt.Sprintf("%s: %v\n", s.File, err)
+			continue
+		}
+		if fs := verify.Check(p); len(fs) > 0 {
+			report += fs.Dump(s.File)
+		}
+	}
+	if report != "" {
+		return fmt.Errorf("kernels: lint failed:\n%s", report)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package verify
+
+import (
+	"sort"
+
+	"warped/internal/isa"
+)
+
+// buildCFG computes instruction-granularity successor lists. Invalid
+// branch targets are reported and omitted from the graph so the
+// dataflow passes stay well defined. A fall-through edge past the last
+// instruction is reported as rule (c) and omitted.
+func (c *checker) buildCFG() {
+	n := len(c.p.Instrs)
+	c.succ = make([][]int, n)
+	addFall := func(pc int) {
+		if pc+1 < n {
+			c.succ[pc] = append(c.succ[pc], pc+1)
+		} else {
+			c.addf(pc, SevError, RuleFallThrough,
+				"control can fall through the end of the program without exit")
+		}
+	}
+	for pc := range c.p.Instrs {
+		in := &c.p.Instrs[pc]
+		switch in.Op {
+		case isa.OpEXIT:
+			if !in.Pred.None {
+				// Lanes whose guard is false continue in sequence.
+				addFall(pc)
+			}
+		case isa.OpBRA:
+			if in.Target < 0 || in.Target >= n {
+				c.addf(pc, SevError, RuleStructure, "branch target pc %d outside program of %d instructions", in.Target, n)
+			} else {
+				c.succ[pc] = append(c.succ[pc], in.Target)
+			}
+			if !in.Pred.None {
+				addFall(pc)
+			}
+		default:
+			addFall(pc)
+		}
+	}
+}
+
+// reachFrom collects every PC reachable from the starts, following CFG
+// edges but never entering `stop` (pass stop < 0 to disable). A start
+// equal to stop contributes nothing.
+func (c *checker) reachFrom(starts []int, stop int) []bool {
+	seen := make([]bool, len(c.p.Instrs))
+	var stack []int
+	for _, s := range starts {
+		if s >= 0 && s < len(seen) && s != stop && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nx := range c.succ[pc] {
+			if nx != stop && !seen[nx] {
+				seen[nx] = true
+				stack = append(stack, nx)
+			}
+		}
+	}
+	return seen
+}
+
+// checkReachability implements rule (c): instructions no path from the
+// entry reaches. Consecutive unreachable instructions are reported as
+// one finding at the head of the run. The assembler's synthesized
+// trailing exit (line 0) is exempt.
+func (c *checker) checkReachability() {
+	c.reachable = c.reachFrom([]int{0}, -1)
+	n := len(c.p.Instrs)
+	for pc := 0; pc < n; {
+		if c.reachable[pc] {
+			pc++
+			continue
+		}
+		start := pc
+		for pc < n && !c.reachable[pc] {
+			pc++
+		}
+		if start == n-1 && c.p.Instrs[start].Op == isa.OpEXIT && c.p.Instrs[start].Line == 0 {
+			continue // assembler-appended terminator after an infinite loop
+		}
+		if pc-start == 1 {
+			c.addf(start, SevWarning, RuleUnreachable, "unreachable instruction")
+		} else {
+			c.addf(start, SevWarning, RuleUnreachable, "unreachable code (%d instructions)", pc-start)
+		}
+	}
+}
+
+// divergentBranches lists the reachable guarded branches whose guard
+// predicate the uniformity analysis could not prove block-uniform.
+// Only these can split a warp's active mask. Requires computeUniformity.
+func (c *checker) divergentBranches() []int {
+	var out []int
+	for pc := range c.p.Instrs {
+		in := &c.p.Instrs[pc]
+		if in.Op != isa.OpBRA || in.Pred.None || !c.reachable[pc] {
+			continue
+		}
+		if c.divPred[pc]&(1<<in.Pred.Index) != 0 {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// checkReconvergence implements the first half of rule (d): every
+// reachable guarded branch must have a reconvergence PC that both the
+// taken path and the fall-through path can reach, or the split lanes
+// never merge and the continuation frame resumes at a PC normal control
+// flow never feeds.
+func (c *checker) checkReconvergence() {
+	n := len(c.p.Instrs)
+	for pc := range c.p.Instrs {
+		in := &c.p.Instrs[pc]
+		if in.Op != isa.OpBRA || in.Pred.None || !c.reachable[pc] {
+			continue
+		}
+		if in.Reconv < 0 || in.Reconv >= n {
+			c.addf(pc, SevError, RuleReconvergence, "reconvergence pc %d outside program of %d instructions", in.Reconv, n)
+			continue
+		}
+		if in.Target < 0 || in.Target >= n {
+			continue // already reported by buildCFG
+		}
+		fromTaken := c.reachFrom([]int{in.Target}, -1)
+		fromFall := []bool{}
+		if pc+1 < n {
+			fromFall = c.reachFrom([]int{pc + 1}, -1)
+		}
+		takenOK := in.Target == in.Reconv || fromTaken[in.Reconv]
+		fallOK := pc+1 == in.Reconv || (pc+1 < n && fromFall[in.Reconv])
+		switch {
+		case !takenOK && !fallOK:
+			c.addf(pc, SevError, RuleReconvergence,
+				"reconvergence pc %d is unreachable from both the taken path and the fall-through: divergent lanes never merge", in.Reconv)
+		case !takenOK:
+			c.addf(pc, SevWarning, RuleReconvergence,
+				"reconvergence pc %d is unreachable from the taken path (pc %d); lanes merge only if every taken path exits", in.Reconv, in.Target)
+		case !fallOK:
+			c.addf(pc, SevWarning, RuleReconvergence,
+				"reconvergence pc %d is unreachable from the fall-through (pc %d); lanes merge only if every fall-through path exits", in.Reconv, pc+1)
+		}
+	}
+}
+
+// divergentRegion returns the set of PCs executable while the branch at
+// pc holds the warp split: everything reachable from the taken target
+// and the fall-through without passing the reconvergence PC.
+func (c *checker) divergentRegion(pc int) []bool {
+	in := &c.p.Instrs[pc]
+	starts := []int{pc + 1}
+	if in.Target >= 0 && in.Target < len(c.p.Instrs) {
+		starts = append(starts, in.Target)
+	}
+	return c.reachFrom(starts, in.Reconv)
+}
+
+// checkDivergence implements the second half of rule (d) and rule (e).
+// Nesting depth: divergent regions that strictly contain one another
+// approximate the SIMT reconvergence stack; a chain deeper than the
+// configured bound would overflow a hardware PDOM stack. Barriers: a
+// bar.sync inside any divergent region, or guarded by a divergent
+// predicate, is the classic barrier-divergence hang.
+func (c *checker) checkDivergence() {
+	branches := c.divergentBranches()
+	regions := make([][]bool, len(branches))
+	sizes := make([]int, len(branches))
+	for i, pc := range branches {
+		regions[i] = c.divergentRegion(pc)
+		for _, r := range regions[i] {
+			if r {
+				sizes[i]++
+			}
+		}
+	}
+
+	// Longest strict-containment chain, by DP over regions sorted by size.
+	order := make([]int, len(branches))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return sizes[order[a]] < sizes[order[b]] })
+	depth := make([]int, len(branches))
+	maxDepth, deepest := 0, -1
+	for _, i := range order {
+		depth[i] = 1
+		for _, j := range order {
+			if sizes[j] >= sizes[i] {
+				break
+			}
+			if depth[j]+1 > depth[i] && contains(regions[i], regions[j]) {
+				depth[i] = depth[j] + 1
+			}
+		}
+		if depth[i] > maxDepth {
+			maxDepth, deepest = depth[i], branches[i]
+		}
+	}
+	if maxDepth > c.opt.MaxDivergenceDepth {
+		c.addf(deepest, SevWarning, RuleDivergenceDepth,
+			"divergent branches nest %d deep, exceeding the SIMT stack bound of %d",
+			maxDepth, c.opt.MaxDivergenceDepth)
+	}
+
+	// Barriers under divergence.
+	flagged := make(map[int]bool)
+	for i, bpc := range branches {
+		for pc, inRegion := range regions[i] {
+			if !inRegion || flagged[pc] || c.p.Instrs[pc].Op != isa.OpBAR {
+				continue
+			}
+			flagged[pc] = true
+			c.addf(pc, SevError, RuleDivergentBarrier,
+				"bar.sync is reachable while the divergent branch at line %d holds the warp split: threads that took the other path never arrive",
+				c.p.Instrs[bpc].Line)
+		}
+	}
+	for pc := range c.p.Instrs {
+		in := &c.p.Instrs[pc]
+		if in.Op != isa.OpBAR || in.Pred.None || !c.reachable[pc] {
+			continue
+		}
+		if c.divPred[pc]&(1<<in.Pred.Index) != 0 {
+			c.addf(pc, SevError, RuleDivergentBarrier,
+				"bar.sync guarded by p%d, which may differ across the block's threads", in.Pred.Index)
+		}
+	}
+}
+
+// contains reports whether set a strictly contains set b.
+func contains(a, b []bool) bool {
+	proper := false
+	for i := range b {
+		if b[i] && !a[i] {
+			return false
+		}
+		if a[i] && !b[i] {
+			proper = true
+		}
+	}
+	return proper
+}

@@ -1,0 +1,110 @@
+package verify
+
+import "warped/internal/isa"
+
+// state is one dataflow fact: a bit per GPR and per predicate register.
+type state struct {
+	gpr  uint64
+	pred uint8
+}
+
+func (s state) union(o state) state { return state{s.gpr | o.gpr, s.pred | o.pred} }
+func (s state) eq(o state) bool     { return s.gpr == o.gpr && s.pred == o.pred }
+
+// readPreds returns the predicate registers an instruction reads: its
+// guard plus the selector/source predicates of SELP/PAND/PNOT.
+func readPreds(in *isa.Instr) uint8 {
+	var ps uint8
+	if !in.Pred.None {
+		ps |= 1 << in.Pred.Index
+	}
+	switch in.Op {
+	case isa.OpSELP, isa.OpPNOT:
+		ps |= 1 << in.PSrcA
+	case isa.OpPAND:
+		ps |= 1<<in.PSrcA | 1<<in.PSrcB
+	}
+	return ps
+}
+
+// writtenPred returns the predicate register an instruction defines.
+func writtenPred(in *isa.Instr) (uint8, bool) {
+	switch in.Op {
+	case isa.OpSETP, isa.OpPAND, isa.OpPNOT:
+		return in.PDst, true
+	}
+	return 0, false
+}
+
+// defs returns the bits an instruction defines. A guarded write counts:
+// predicates are not modeled symbolically, so treating `@p0 mov r1,...`
+// as a definition is what keeps the bundled kernels' predicated-slot
+// idiom from flagging (see the package comment).
+func defs(in *isa.Instr) state {
+	var d state
+	if r, ok := in.Writes(); ok && !r.IsSpecial() && int(r) < 64 {
+		d.gpr |= 1 << uint(r)
+	}
+	if p, ok := writtenPred(in); ok && int(p) < isa.NumPreds {
+		d.pred |= 1 << p
+	}
+	return d
+}
+
+// checkUseBeforeDef implements rule (a): forward may-analysis of
+// "possibly still uninitialized" registers. The entry state marks every
+// GPR and predicate undefined; a use whose bit survives on some path to
+// the instruction is reported. Special registers are always defined.
+func (c *checker) checkUseBeforeDef() {
+	n := len(c.p.Instrs)
+	inState := make([]state, n)
+	seen := make([]bool, n)
+	inState[0] = state{gpr: ^uint64(0), pred: ^uint8(0)}
+	seen[0] = true
+
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := inState[pc]
+		d := defs(&c.p.Instrs[pc])
+		out.gpr &^= d.gpr
+		out.pred &^= d.pred
+		for _, nx := range c.succ[pc] {
+			merged := out
+			if seen[nx] {
+				merged = inState[nx].union(out)
+				if merged.eq(inState[nx]) {
+					continue
+				}
+			}
+			inState[nx] = merged
+			seen[nx] = true
+			work = append(work, nx)
+		}
+	}
+
+	for pc := 0; pc < n; pc++ {
+		if !seen[pc] {
+			continue
+		}
+		in := &c.p.Instrs[pc]
+		st := inState[pc]
+		for _, r := range in.Reads() {
+			if int(r) < 64 && st.gpr&(1<<uint(r)) != 0 {
+				c.addf(pc, SevError, RuleUseBeforeDef,
+					"%s may be read before any instruction writes it", r)
+				st.gpr &^= 1 << uint(r) // one report per register per site
+			}
+		}
+		for ps, bit := readPreds(in), 0; ps != 0; bit++ {
+			if ps&(1<<bit) != 0 {
+				ps &^= 1 << bit
+				if st.pred&(1<<bit) != 0 {
+					c.addf(pc, SevError, RuleUseBeforeDef,
+						"p%d may be read before any instruction sets it", bit)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package verify
+
+import "warped/internal/isa"
+
+// computeUniformity runs the forward divergence dataflow used by rules
+// (d) and (e): a bit set means the register's value may differ between
+// threads of the same block. Sources of divergence are the per-thread
+// specials (%tid, %laneid, %warpid), loads from writable memory spaces,
+// and atomics; immediates, kernel parameters, and the per-block
+// specials (%ctaid, %ntid, %nctaid) are uniform. A write under a
+// divergent guard is itself divergent (lanes disagree about whether the
+// write happened), which is what lets the bundled kernels' uniform loop
+// counters stay uniform while their predicated bodies do not.
+//
+// The pass iterates with control dependence: once a branch is known
+// divergent, every definition inside its divergent region executes on
+// only a subset of lanes, so those definitions are re-marked divergent
+// and the dataflow reruns until no new divergent branch appears.
+func (c *checker) computeUniformity() {
+	c.ctrlDiv = make([]bool, len(c.p.Instrs))
+	for {
+		c.runUniformityFixpoint()
+		changed := false
+		for _, bpc := range c.divergentBranches() {
+			for pc, inRegion := range c.divergentRegion(bpc) {
+				if inRegion && !c.ctrlDiv[pc] {
+					c.ctrlDiv[pc] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (c *checker) runUniformityFixpoint() {
+	n := len(c.p.Instrs)
+	c.divGPR = make([]uint64, n)
+	c.divPred = make([]uint8, n)
+	seen := make([]bool, n)
+	seen[0] = true
+
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		outG, outP := c.transferUniformity(pc)
+		for _, nx := range c.succ[pc] {
+			mg, mp := outG, outP
+			if seen[nx] {
+				mg |= c.divGPR[nx]
+				mp |= c.divPred[nx]
+				if mg == c.divGPR[nx] && mp == c.divPred[nx] {
+					continue
+				}
+			}
+			c.divGPR[nx], c.divPred[nx] = mg, mp
+			seen[nx] = true
+			work = append(work, nx)
+		}
+	}
+}
+
+// specialDivergent reports whether a special register varies between
+// threads of one block.
+func specialDivergent(r isa.Reg) bool {
+	switch r {
+	case isa.RegTIDX, isa.RegTIDY, isa.RegLANEID, isa.RegWARPID:
+		return true
+	}
+	return false
+}
+
+// operandDivergent evaluates an operand against the in-state.
+func operandDivergent(g uint64, o isa.Operand) bool {
+	if o.IsImm {
+		return false
+	}
+	if o.Reg.IsSpecial() {
+		return specialDivergent(o.Reg)
+	}
+	if int(o.Reg) >= 64 {
+		return true // out of range, reported by reg-bounds; stay conservative
+	}
+	return g&(1<<uint(o.Reg)) != 0
+}
+
+// transferUniformity applies one instruction to its in-state and
+// returns the out-state. The transfer is monotone in the in-state, so
+// the worklist loop reaches a fixpoint.
+func (c *checker) transferUniformity(pc int) (uint64, uint8) {
+	in := &c.p.Instrs[pc]
+	g, p := c.divGPR[pc], c.divPred[pc]
+
+	srcDiv := func(k int) bool { return operandDivergent(g, in.Src[k]) }
+	guarded := !in.Pred.None
+	guardDiv := (guarded && p&(1<<in.Pred.Index) != 0) || c.ctrlDiv[pc]
+
+	setGPR := func(r isa.Reg, div bool) {
+		if r.IsSpecial() || int(r) >= 64 {
+			return
+		}
+		old := g&(1<<uint(r)) != 0
+		div = div || guardDiv || (guarded && old)
+		if div {
+			g |= 1 << uint(r)
+		} else {
+			g &^= 1 << uint(r)
+		}
+	}
+	setPred := func(idx uint8, div bool) {
+		if int(idx) >= isa.NumPreds {
+			return
+		}
+		old := p&(1<<idx) != 0
+		div = div || guardDiv || (guarded && old)
+		if div {
+			p |= 1 << idx
+		} else {
+			p &^= 1 << idx
+		}
+	}
+
+	switch in.Op {
+	case isa.OpLD:
+		// Parameter space is read-only and identical for every thread:
+		// a uniform address yields a uniform value. Global, shared, and
+		// local memory are writable, so loaded values are divergent.
+		if in.Space == isa.SpaceParam {
+			setGPR(in.Dst, srcDiv(0))
+		} else {
+			setGPR(in.Dst, true)
+		}
+	case isa.OpATOM:
+		setGPR(in.Dst, true) // returns the per-lane serialization order
+	case isa.OpSELP:
+		setGPR(in.Dst, srcDiv(0) || srcDiv(1) || p&(1<<in.PSrcA) != 0)
+	case isa.OpSETP:
+		setPred(in.PDst, srcDiv(0) || srcDiv(1))
+	case isa.OpPAND:
+		setPred(in.PDst, p&(1<<in.PSrcA) != 0 || p&(1<<in.PSrcB) != 0)
+	case isa.OpPNOT:
+		setPred(in.PDst, p&(1<<in.PSrcA) != 0)
+	default:
+		if in.Op.HasDst() {
+			div := false
+			for k := 0; k < in.Op.NumSrc(); k++ {
+				div = div || srcDiv(k)
+			}
+			setGPR(in.Dst, div)
+		}
+	}
+	return g, p
+}

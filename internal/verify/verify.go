@@ -1,0 +1,311 @@
+// Package verify is a static kernel verifier: a lint pass over
+// assembled *isa.Program values that builds a basic-block control-flow
+// graph and runs forward dataflow analyses to catch the defect classes
+// that silently corrupt a Warped-DMR run before it starts. A malformed
+// reconvergence stack or an uninitialized register corrupts the primary
+// execution and its DMR replay identically, so the comparator sees
+// agreement and the error escapes — exactly the failure mode static
+// verification exists to close (in the spirit of GPUVerify/GPURepair
+// for barrier divergence and data races).
+//
+// Rules:
+//
+//	use-before-def     a GPR or predicate may be read on some path
+//	                   before any instruction writes it (rule a)
+//	reg-bounds         register/predicate indices outside the kernel's
+//	                   .reg declaration or the architectural file (rule b)
+//	unreachable        instructions no path from the entry reaches (rule c)
+//	fall-through       control can run off the end of the program
+//	                   without an exit (rule c)
+//	reconvergence      a branch reconvergence PC that the taken path
+//	                   and/or the fall-through path can never reach, so
+//	                   divergent lanes never merge (rule d)
+//	divergence-depth   statically nested divergent branches exceeding
+//	                   the SIMT reconvergence stack bound (rule d)
+//	divergent-barrier  a bar.sync reachable under divergent control
+//	                   flow or guarded by a thread-varying predicate,
+//	                   the classic GPU barrier-divergence hang (rule e)
+//	misalignment       sized (32-bit) loads/stores whose address is
+//	                   provably not 4-byte aligned (rule f)
+//
+// Deliberate rule refinements, tuned against the bundled kernels
+// (internal/kernels), which all verify clean:
+//
+//   - A guarded write (`@p0 mov r1, ...`) counts as a definition for
+//     use-before-def. Predicates are not tracked symbolically, so the
+//     ubiquitous predicated-slot idiom (`@p0 ld.global r13, ...` then
+//     `@p0 st.shared ..., r13`) must not be flagged; the analysis
+//     reports only registers for which some path carries NO write at
+//     all, guarded or not.
+//   - Barrier divergence uses a uniformity dataflow, not raw guard
+//     syntax. Loop back-edges guarded on block-uniform values (counters
+//     stepped uniformly, `ld.param` values, %ctaid/%ntid specials) do
+//     not make a contained bar.sync divergent — every bundled shared-
+//     memory kernel (scan, bitonic, fft, matmul, reduce) keeps its
+//     barrier inside such a uniform loop, matching the PTX rule that
+//     barriers must be reached by all threads of the block. Values from
+//     %tid/%laneid/%warpid, data-dependent loads, and atomics are
+//     divergent; everything else propagates.
+//   - Reconvergence checking is reachability-based: the reconvergence
+//     PC must be reachable from the taken target and from the
+//     fall-through. One-sided reachability is a warning (legal when
+//     every path on the silent side exits, which reachability alone
+//     cannot prove); unreachable from both sides is an error, because
+//     the merged continuation frame would resume at a PC the program's
+//     own control flow never feeds.
+//   - The assembler appends a terminating `exit` (source line 0) when a
+//     program does not end in one; if that synthetic instruction is
+//     unreachable (e.g. the program ends in an unconditional loop) it
+//     is not reported.
+//   - Alignment is checked where it is provable: absolute addresses
+//     (immediate base) must be 4-byte aligned and non-negative, and
+//     register-relative offsets must be multiples of 4 — kernel address
+//     arithmetic keeps base registers word-aligned (allocators return
+//     word-aligned pointers), so an odd displacement is an error in
+//     practice even though an odd base could in principle compensate.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"warped/internal/isa"
+)
+
+// Severity ranks a finding.
+type Severity uint8
+
+const (
+	// SevWarning marks a suspicious construct that may still execute.
+	SevWarning Severity = iota
+	// SevError marks a defect that corrupts or hangs execution.
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Rule identifiers, stable for grepping lint output.
+const (
+	RuleUseBeforeDef     = "use-before-def"
+	RuleRegBounds        = "reg-bounds"
+	RuleUnreachable      = "unreachable"
+	RuleFallThrough      = "fall-through"
+	RuleReconvergence    = "reconvergence"
+	RuleDivergenceDepth  = "divergence-depth"
+	RuleDivergentBarrier = "divergent-barrier"
+	RuleMisalignment     = "misalignment"
+	RuleStructure        = "structure"
+)
+
+// Finding is one verifier diagnostic, positioned at a source line.
+type Finding struct {
+	PC   int // instruction index within the program
+	Line int // source line (0 for synthesized instructions)
+	Sev  Severity
+	Rule string
+	Msg  string
+}
+
+// String renders the finding like an asm.Error, with the rule tag.
+func (f Finding) String() string {
+	return fmt.Sprintf("line %d: %s: %s: %s", f.Line, f.Sev, f.Rule, f.Msg)
+}
+
+// Findings is a list of diagnostics ordered by source position.
+type Findings []Finding
+
+// String renders one finding per line.
+func (fs Findings) String() string {
+	lines := make([]string, len(fs))
+	for i, f := range fs {
+		lines[i] = f.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Dump renders the stable greppable lint format, one finding per line:
+// file:line: severity: rule: message.
+func (fs Findings) Dump(file string) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s:%d: %s: %s: %s\n", file, f.Line, f.Sev, f.Rule, f.Msg)
+	}
+	return b.String()
+}
+
+// Errors counts error-severity findings.
+func (fs Findings) Errors() int {
+	n := 0
+	for _, f := range fs {
+		if f.Sev == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// Err summarizes error-severity findings as a single error, or nil.
+func (fs Findings) Err() error {
+	if fs.Errors() == 0 {
+		return nil
+	}
+	return fmt.Errorf("verify: %d error(s):\n%s", fs.Errors(), fs.String())
+}
+
+// Options tunes the verifier.
+type Options struct {
+	// MaxDivergenceDepth bounds statically nested divergent branches;
+	// deeper nesting risks overflowing a hardware PDOM stack. 0 means
+	// the default of 16.
+	MaxDivergenceDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDivergenceDepth <= 0 {
+		o.MaxDivergenceDepth = 16
+	}
+	return o
+}
+
+// Check verifies a program with default options.
+func Check(p *isa.Program) Findings { return CheckWith(p, Options{}) }
+
+// CheckWith verifies a program and returns all findings, ordered by
+// source line then instruction index.
+func CheckWith(p *isa.Program, opt Options) Findings {
+	opt = opt.withDefaults()
+	if p == nil || len(p.Instrs) == 0 {
+		return Findings{{Sev: SevError, Rule: RuleStructure, Msg: "empty program"}}
+	}
+	c := &checker{p: p, opt: opt}
+	c.checkBounds()
+	c.buildCFG()
+	c.checkReachability()
+	c.checkUseBeforeDef()
+	c.computeUniformity()
+	c.checkReconvergence()
+	c.checkDivergence()
+	c.checkAlignment()
+	sort.SliceStable(c.findings, func(i, j int) bool {
+		if c.findings[i].Line != c.findings[j].Line {
+			return c.findings[i].Line < c.findings[j].Line
+		}
+		return c.findings[i].PC < c.findings[j].PC
+	})
+	return c.findings
+}
+
+// checker carries the per-program analysis state.
+type checker struct {
+	p   *isa.Program
+	opt Options
+
+	succ      [][]int // CFG successor lists, built by buildCFG
+	reachable []bool  // entry-reachable instructions
+
+	divGPR  []uint64 // per-PC in-state: bit set = register possibly divergent
+	divPred []uint8  // per-PC in-state: bit set = predicate possibly divergent
+	ctrlDiv []bool   // instruction sits inside some divergent branch region
+
+	findings Findings
+}
+
+func (c *checker) addf(pc int, sev Severity, rule, format string, args ...any) {
+	line := 0
+	if pc >= 0 && pc < len(c.p.Instrs) {
+		line = c.p.Instrs[pc].Line
+	}
+	c.findings = append(c.findings, Finding{
+		PC: pc, Line: line, Sev: sev, Rule: rule, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// checkBounds implements rule (b): register and predicate indices must
+// fit the declared register budget and the architectural limits.
+func (c *checker) checkBounds() {
+	p := c.p
+	if p.NumRegs < 0 || p.NumRegs > isa.MaxGPR {
+		c.addf(-1, SevError, RuleRegBounds, ".reg %d outside 0..%d", p.NumRegs, isa.MaxGPR)
+	}
+	checkGPR := func(pc int, r isa.Reg, role string) {
+		if r.IsSpecial() {
+			return
+		}
+		if int(r) >= isa.MaxGPR {
+			c.addf(pc, SevError, RuleRegBounds, "%s register %s is not a valid GPR or special register", role, r)
+			return
+		}
+		if p.NumRegs > 0 && int(r) >= p.NumRegs {
+			c.addf(pc, SevError, RuleRegBounds, "%s register %s exceeds .reg %d", role, r, p.NumRegs)
+		}
+	}
+	checkPred := func(pc int, idx uint8, role string) {
+		if int(idx) >= isa.NumPreds {
+			c.addf(pc, SevError, RuleRegBounds, "%s predicate p%d exceeds the %d predicate registers", role, idx, isa.NumPreds)
+		}
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if in.Op.HasDst() {
+			if in.Dst.IsSpecial() {
+				c.addf(pc, SevError, RuleRegBounds, "destination %s is a read-only special register", in.Dst)
+			} else {
+				checkGPR(pc, in.Dst, "destination")
+			}
+		}
+		for i := 0; i < in.Op.NumSrc(); i++ {
+			if !in.Src[i].IsImm {
+				checkGPR(pc, in.Src[i].Reg, "source")
+			}
+		}
+		if !in.Pred.None {
+			checkPred(pc, in.Pred.Index, "guard")
+		}
+		switch in.Op {
+		case isa.OpSETP:
+			checkPred(pc, in.PDst, "destination")
+		case isa.OpSELP:
+			checkPred(pc, in.PSrcA, "selector")
+		case isa.OpPAND:
+			checkPred(pc, in.PDst, "destination")
+			checkPred(pc, in.PSrcA, "source")
+			checkPred(pc, in.PSrcB, "source")
+		case isa.OpPNOT:
+			checkPred(pc, in.PDst, "destination")
+			checkPred(pc, in.PSrcA, "source")
+		}
+	}
+}
+
+// checkAlignment implements rule (f): every memory access is 32-bit and
+// must be 4-byte aligned.
+func (c *checker) checkAlignment() {
+	for pc := range c.p.Instrs {
+		in := &c.p.Instrs[pc]
+		switch in.Op {
+		case isa.OpLD, isa.OpST, isa.OpATOM:
+		default:
+			continue
+		}
+		if in.Src[0].IsImm {
+			addr := int64(int32(in.Src[0].Imm)) + int64(in.Off)
+			if addr < 0 {
+				c.addf(pc, SevError, RuleMisalignment, "%s address %d is negative", in.Op, addr)
+			} else if addr%4 != 0 {
+				c.addf(pc, SevError, RuleMisalignment, "%s address %d is not 4-byte aligned", in.Op, addr)
+			}
+			continue
+		}
+		if in.Off%4 != 0 {
+			c.addf(pc, SevError, RuleMisalignment,
+				"%s offset %+d from %s is not a multiple of 4 (word-aligned base assumed)",
+				in.Op, in.Off, in.Src[0].Reg)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"warped/internal/asm"
+	"warped/internal/isa"
+	"warped/internal/verify"
+)
+
+// mustAsm assembles a kernel source or fails the test.
+func mustAsm(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+// findingsByRule buckets findings for assertion.
+func findingsByRule(fs verify.Findings) map[string][]verify.Finding {
+	m := map[string][]verify.Finding{}
+	for _, f := range fs {
+		m[f.Rule] = append(m[f.Rule], f)
+	}
+	return m
+}
+
+// TestRules drives one minimal failing kernel per verifier rule plus
+// clean negatives for the idioms the rules were refined around.
+func TestRules(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// wantRule non-empty: at least one finding with this rule and
+		// severity must be produced. wantRule empty: zero findings.
+		wantRule string
+		wantSev  verify.Severity
+		wantMsg  string // substring of some finding with wantRule
+	}{
+		{
+			name: "use-before-def GPR",
+			src: `.kernel k
+.reg 4
+iadd r1, r0, 1
+exit`,
+			wantRule: verify.RuleUseBeforeDef,
+			wantSev:  verify.SevError,
+			wantMsg:  "r0 may be read",
+		},
+		{
+			name: "use-before-def predicate guard",
+			src: `.kernel k
+.reg 4
+@p0 mov r0, 1
+exit`,
+			wantRule: verify.RuleUseBeforeDef,
+			wantSev:  verify.SevError,
+			wantMsg:  "p0 may be read",
+		},
+		{
+			name: "use-before-def on one path only",
+			src: `.kernel k
+.reg 4
+setp.eq.s32 p0, %ctaid.x, 0
+@p0 bra SKIP, SKIP
+mov r1, 7
+SKIP:
+iadd r2, r1, 1
+exit`,
+			wantRule: verify.RuleUseBeforeDef,
+			wantSev:  verify.SevError,
+			wantMsg:  "r1 may be read",
+		},
+		{
+			name: "guarded write counts as def (clean)",
+			src: `.kernel k
+.reg 8
+setp.lt.s32 p0, %tid.x, 4
+@p0 ld.global r1, [%tid.x]
+@p0 st.shared [%tid.x], r1
+exit`,
+		},
+		{
+			name: "unreachable code",
+			src: `.kernel k
+.reg 2
+bra END, END
+mov r0, 1
+mov r1, 2
+END:
+exit`,
+			wantRule: verify.RuleUnreachable,
+			wantSev:  verify.SevWarning,
+			wantMsg:  "unreachable code (2 instructions)",
+		},
+		{
+			name: "infinite loop synthesized exit exempt (clean)",
+			src: `.kernel k
+.reg 2
+mov r0, 0
+LOOP:
+iadd r0, r0, 1
+bra LOOP, LOOP`,
+		},
+		{
+			name: "divergent barrier in region",
+			src: `.kernel k
+.reg 2
+setp.eq.s32 p0, %tid.x, 0
+@p0 bra SKIP, SKIP
+bar.sync
+SKIP:
+exit`,
+			wantRule: verify.RuleDivergentBarrier,
+			wantSev:  verify.SevError,
+			wantMsg:  "holds the warp split",
+		},
+		{
+			name: "divergent guarded barrier",
+			src: `.kernel k
+.reg 2
+setp.eq.s32 p0, %tid.x, 0
+@p0 bar.sync
+exit`,
+			wantRule: verify.RuleDivergentBarrier,
+			wantSev:  verify.SevError,
+			wantMsg:  "may differ across the block's threads",
+		},
+		{
+			name: "uniform loop barrier (clean)",
+			src: `.kernel k
+.reg 4
+ld.param r0, [0]
+mov r1, 0
+LOOP:
+bar.sync
+iadd r1, r1, 1
+setp.lt.s32 p0, r1, r0
+@p0 bra LOOP, DONE
+DONE:
+exit`,
+		},
+		{
+			name: "barrier divergent via loop-carried guard",
+			src: `.kernel k
+.reg 4
+mov r1, %tid.x
+LOOP:
+bar.sync
+iadd r1, r1, 1
+setp.lt.s32 p0, r1, 64
+@p0 bra LOOP, DONE
+DONE:
+exit`,
+			wantRule: verify.RuleDivergentBarrier,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "misaligned immediate address",
+			src: `.kernel k
+.reg 2
+mov r0, 1
+st.global [2], r0
+exit`,
+			wantRule: verify.RuleMisalignment,
+			wantSev:  verify.SevError,
+			wantMsg:  "address 2 is not 4-byte aligned",
+		},
+		{
+			name: "misaligned register offset",
+			src: `.kernel k
+.reg 2
+mov r0, 0
+ld.global r1, [r0+2]
+exit`,
+			wantRule: verify.RuleMisalignment,
+			wantSev:  verify.SevError,
+			wantMsg:  "not a multiple of 4",
+		},
+		{
+			name: "negative aligned offset (clean)",
+			src: `.kernel k
+.reg 2
+mov r0, 8
+ld.global r1, [r0-4]
+st.global [r0-8], r1
+exit`,
+		},
+		{
+			name: "branch target equals reconv (clean)",
+			src: `.kernel k
+.reg 2
+setp.eq.s32 p0, %tid.x, 0
+@p0 bra SKIP, SKIP
+mov r0, 1
+SKIP:
+exit`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustAsm(t, tc.src)
+			fs := verify.Check(p)
+			if tc.wantRule == "" {
+				if len(fs) != 0 {
+					t.Fatalf("want clean, got:\n%s", fs)
+				}
+				return
+			}
+			hits := findingsByRule(fs)[tc.wantRule]
+			if len(hits) == 0 {
+				t.Fatalf("want %s finding, got:\n%s", tc.wantRule, fs)
+			}
+			found := false
+			for _, f := range hits {
+				if f.Sev == tc.wantSev && strings.Contains(f.Msg, tc.wantMsg) {
+					found = true
+					if f.Line <= 0 {
+						t.Errorf("finding has no source line: %s", f)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("no %s finding with sev=%s msg~%q in:\n%s",
+					tc.wantRule, tc.wantSev, tc.wantMsg, fs)
+			}
+		})
+	}
+}
+
+// TestHandBuiltPrograms covers rules the assembler cannot emit source
+// for: out-of-file register indices, bad predicate indices, broken
+// reconvergence PCs, and fall-through off the end.
+func TestHandBuiltPrograms(t *testing.T) {
+	mk := func(instrs ...isa.Instr) *isa.Program {
+		for i := range instrs {
+			if instrs[i].Line == 0 {
+				instrs[i].Line = i + 1
+			}
+		}
+		return &isa.Program{Name: "hand", Instrs: instrs, NumRegs: 8}
+	}
+	none := isa.PredRef{None: true}
+	cases := []struct {
+		name     string
+		p        *isa.Program
+		wantRule string
+		wantSev  verify.Severity
+	}{
+		{
+			name: "destination exceeds .reg budget",
+			p: &isa.Program{Name: "hand", NumRegs: 2, Instrs: []isa.Instr{
+				{Op: isa.OpMOV, Pred: none, Dst: 5, Src: [3]isa.Operand{{IsImm: true}}, Line: 1},
+				{Op: isa.OpEXIT, Pred: none, Line: 2},
+			}},
+			wantRule: verify.RuleRegBounds,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "destination beyond GPR file",
+			p: mk(
+				isa.Instr{Op: isa.OpMOV, Pred: none, Dst: 70, Src: [3]isa.Operand{{IsImm: true}}},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+			),
+			wantRule: verify.RuleRegBounds,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "special register destination",
+			p: mk(
+				isa.Instr{Op: isa.OpMOV, Pred: none, Dst: isa.RegTIDX, Src: [3]isa.Operand{{IsImm: true}}},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+			),
+			wantRule: verify.RuleRegBounds,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "predicate index out of range",
+			p: mk(
+				isa.Instr{Op: isa.OpSETP, Pred: none, PDst: 9, Cmp: isa.CmpEQ,
+					Src: [3]isa.Operand{{IsImm: true}, {IsImm: true}}},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+			),
+			wantRule: verify.RuleRegBounds,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "fall-through off the end",
+			p: mk(
+				isa.Instr{Op: isa.OpMOV, Pred: none, Dst: 0, Src: [3]isa.Operand{{IsImm: true}}},
+				isa.Instr{Op: isa.OpEXIT, Pred: isa.PredRef{Index: 0}},
+			),
+			wantRule: verify.RuleFallThrough,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "branch target outside program",
+			p: mk(
+				isa.Instr{Op: isa.OpBRA, Pred: none, Target: 99, Reconv: 1},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+			),
+			wantRule: verify.RuleStructure,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "reconvergence pc outside program",
+			p: mk(
+				isa.Instr{Op: isa.OpSETP, Pred: none, PDst: 0, Cmp: isa.CmpEQ,
+					Src: [3]isa.Operand{{Reg: isa.RegTIDX}, {IsImm: true}}},
+				isa.Instr{Op: isa.OpBRA, Pred: isa.PredRef{Index: 0}, Target: 3, Reconv: 99},
+				isa.Instr{Op: isa.OpMOV, Pred: none, Dst: 0, Src: [3]isa.Operand{{IsImm: true}}},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+			),
+			wantRule: verify.RuleReconvergence,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "reconvergence unreachable from both paths",
+			p: mk(
+				// 0: setp on %tid; 1: @p0 bra 4 reconv 6; taken path exits
+				// at 5, fall-through exits at 3 — pc 6 is fed by neither.
+				isa.Instr{Op: isa.OpSETP, Pred: none, PDst: 0, Cmp: isa.CmpEQ,
+					Src: [3]isa.Operand{{Reg: isa.RegTIDX}, {IsImm: true}}},
+				isa.Instr{Op: isa.OpBRA, Pred: isa.PredRef{Index: 0}, Target: 4, Reconv: 6},
+				isa.Instr{Op: isa.OpMOV, Pred: none, Dst: 0, Src: [3]isa.Operand{{IsImm: true}}},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+				isa.Instr{Op: isa.OpMOV, Pred: none, Dst: 1, Src: [3]isa.Operand{{IsImm: true}}},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+			),
+			wantRule: verify.RuleReconvergence,
+			wantSev:  verify.SevError,
+		},
+		{
+			name: "reconvergence unreachable from taken path only",
+			p: mk(
+				isa.Instr{Op: isa.OpSETP, Pred: none, PDst: 0, Cmp: isa.CmpEQ,
+					Src: [3]isa.Operand{{Reg: isa.RegTIDX}, {IsImm: true}}},
+				isa.Instr{Op: isa.OpBRA, Pred: isa.PredRef{Index: 0}, Target: 4, Reconv: 2},
+				isa.Instr{Op: isa.OpMOV, Pred: none, Dst: 0, Src: [3]isa.Operand{{IsImm: true}}},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+				isa.Instr{Op: isa.OpEXIT, Pred: none},
+			),
+			wantRule: verify.RuleReconvergence,
+			wantSev:  verify.SevWarning,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := verify.Check(tc.p)
+			for _, f := range findingsByRule(fs)[tc.wantRule] {
+				if f.Sev == tc.wantSev {
+					return
+				}
+			}
+			t.Fatalf("want %s/%s finding, got:\n%s", tc.wantRule, tc.wantSev, fs)
+		})
+	}
+}
+
+// TestDivergenceDepth nests two data-dependent branches and shrinks the
+// allowed depth below the nesting.
+func TestDivergenceDepth(t *testing.T) {
+	src := `.kernel k
+.reg 4
+setp.lt.s32 p0, %tid.x, 16
+@p0 bra A, DONE
+mov r0, 0
+bra DONE, DONE
+A:
+setp.lt.s32 p1, %tid.x, 8
+@p1 bra B, DONE
+mov r1, 1
+bra DONE, DONE
+B:
+mov r2, 2
+DONE:
+exit`
+	p := mustAsm(t, src)
+	if fs := verify.Check(p); len(fs) != 0 {
+		t.Fatalf("default depth should be clean, got:\n%s", fs)
+	}
+	fs := verify.CheckWith(p, verify.Options{MaxDivergenceDepth: 1})
+	hits := findingsByRule(fs)[verify.RuleDivergenceDepth]
+	if len(hits) != 1 || hits[0].Sev != verify.SevWarning {
+		t.Fatalf("want one divergence-depth warning with depth 1, got:\n%s", fs)
+	}
+	if !strings.Contains(hits[0].Msg, "nest 2 deep") {
+		t.Errorf("msg = %q, want nesting of 2", hits[0].Msg)
+	}
+}
+
+// TestEmptyProgram covers the degenerate structure finding.
+func TestEmptyProgram(t *testing.T) {
+	for _, p := range []*isa.Program{nil, {Name: "empty"}} {
+		fs := verify.Check(p)
+		if len(fs) != 1 || fs[0].Rule != verify.RuleStructure || fs[0].Sev != verify.SevError {
+			t.Fatalf("want single structure error, got:\n%s", fs)
+		}
+	}
+}
+
+// TestFindingFormat pins the diagnostic formats promised to grep users:
+// String is asm.Error-shaped, Dump is file:line: severity: rule: message.
+func TestFindingFormat(t *testing.T) {
+	f := verify.Finding{PC: 3, Line: 12, Sev: verify.SevError,
+		Rule: verify.RuleMisalignment, Msg: "st address 2 is not 4-byte aligned"}
+	if got, want := f.String(), "line 12: error: misalignment: st address 2 is not 4-byte aligned"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	fs := verify.Findings{f, {PC: 5, Line: 14, Sev: verify.SevWarning,
+		Rule: verify.RuleUnreachable, Msg: "unreachable instruction"}}
+	want := "kern.s:12: error: misalignment: st address 2 is not 4-byte aligned\n" +
+		"kern.s:14: warning: unreachable: unreachable instruction\n"
+	if got := fs.Dump("kern.s"); got != want {
+		t.Errorf("Dump() = %q, want %q", got, want)
+	}
+	if fs.Errors() != 1 {
+		t.Errorf("Errors() = %d, want 1", fs.Errors())
+	}
+	if err := fs.Err(); err == nil || !strings.Contains(err.Error(), "1 error(s)") {
+		t.Errorf("Err() = %v", err)
+	}
+	if err := (verify.Findings{}).Err(); err != nil {
+		t.Errorf("empty Err() = %v, want nil", err)
+	}
+}
+
+// TestFindingsOrdered asserts findings come back sorted by source line.
+func TestFindingsOrdered(t *testing.T) {
+	src := `.kernel k
+.reg 2
+mov r0, 1
+st.global [2], r0
+st.global [6], r0
+@p3 iadd r1, r0, 1
+exit`
+	p := mustAsm(t, src)
+	// Two misalignments plus a use-before-def of guard p3.
+	fs := verify.Check(p)
+	if len(fs) < 3 {
+		t.Fatalf("want >=3 findings, got:\n%s", fs)
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Line < fs[i-1].Line {
+			t.Fatalf("findings unsorted:\n%s", fs)
+		}
+	}
+}

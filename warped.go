@@ -36,6 +36,7 @@ import (
 	"warped/internal/sim"
 	"warped/internal/stats"
 	"warped/internal/trace"
+	"warped/internal/verify"
 	"warped/internal/xfer"
 )
 
@@ -123,6 +124,32 @@ func NewGPUWithMemory(cfg Config, memBytes int) (*GPU, error) { return sim.New(c
 
 // Assemble compiles PTX-like assembly source into a kernel program.
 func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// Static verification (lint) types, re-exported from internal/verify.
+type (
+	// Finding is one static-verifier diagnostic.
+	Finding = verify.Finding
+	// Findings is an ordered list of verifier diagnostics.
+	Findings = verify.Findings
+	// VerifyOptions tunes the static verifier.
+	VerifyOptions = verify.Options
+	// VerifyError wraps the findings that failed AssembleVerified.
+	VerifyError = asm.VerifyError
+)
+
+// AssembleVerified compiles assembly source and then runs the static
+// verifier over the program, rejecting kernels with error-severity
+// findings (use-before-def, divergent barriers, broken reconvergence,
+// misaligned accesses, ...). The program is returned even on
+// verification failure so callers can inspect it.
+func AssembleVerified(src string) (*Program, error) { return asm.AssembleVerified(src) }
+
+// Verify runs the static kernel verifier over an assembled program and
+// returns every finding, ordered by source line.
+func Verify(p *Program) Findings { return verify.Check(p) }
+
+// VerifyWith runs the static verifier with explicit options.
+func VerifyWith(p *Program, opt VerifyOptions) Findings { return verify.CheckWith(p, opt) }
 
 // NewParams builds a kernel parameter block from 32-bit words.
 func NewParams(words ...uint32) *mem.Params { return mem.NewParams(words...) }
