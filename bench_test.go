@@ -1,6 +1,9 @@
 package warped
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"warped/internal/arch"
@@ -133,6 +136,30 @@ func BenchmarkFaultInjectionCampaign(b *testing.B) {
 			b.Logf("activated=%d detected=%d crashed=%d silent=%d",
 				c.Activated, c.Detected, c.Crashed, c.Silent)
 		}
+	}
+}
+
+// BenchmarkCampaignParallelism measures the orchestration engine's
+// wall-clock scaling on a fixed 16-run campaign: workers=1 is the
+// serial baseline, higher counts show the worker-pool speedup (bounded
+// by the host's core count — on a single-core box the times converge).
+// The campaign output itself is identical at every worker count; see
+// internal/experiments TestParallelMatchesSerial.
+func BenchmarkCampaignParallelism(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := &Engine{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				c, err := e.Campaign(context.Background(), "SHA", 16, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && workers == 1 {
+					b.Logf("activated=%d detected=%d crashed=%d silent=%d",
+						c.Activated, c.Detected, c.Crashed, c.Silent)
+				}
+			}
+		})
 	}
 }
 

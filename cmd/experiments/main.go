@@ -1,20 +1,29 @@
 // Command experiments regenerates the tables and figures of the
 // Warped-DMR paper's evaluation section on the simulator.
 //
+// Independent simulator runs fan out across a worker pool; the output
+// is byte-identical at any worker count. Ctrl-C cancels the remaining
+// runs promptly.
+//
 // Usage:
 //
-//	experiments            # run everything (several minutes)
-//	experiments -fig 9a    # one figure: 1, 5, 8a, 8b, 9a, 9b, 10, 11
+//	experiments                # run everything (several minutes)
+//	experiments -fig 9a        # one figure: 1, 5, 8a, 8b, 9a, 9b, 10, 11
 //	experiments -fig table4
-//	experiments -csv       # emit CSV instead of aligned text
+//	experiments -fig campaign  # seeded fault-injection campaign
+//	experiments -parallel 4    # cap the worker pool (default GOMAXPROCS)
+//	experiments -csv           # emit CSV instead of aligned text
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
-	"warped"
 	"warped/internal/experiments"
 	"warped/internal/kernels"
 	"warped/internal/stats"
@@ -22,18 +31,23 @@ import (
 
 type figure struct {
 	id    string
-	run   func() (*stats.Table, error)
-	chart func() (string, error) // optional ASCII chart form
+	run   func(ctx context.Context) (*stats.Table, error)
+	chart func(ctx context.Context) (string, error) // optional ASCII chart form
 }
 
 func main() {
 	var (
-		figID = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, sampling, schedulers, latency); empty = all")
-		csv   = flag.Bool("csv", false, "emit CSV")
-		chart = flag.Bool("chart", false, "render ASCII charts where available")
-		lint  = flag.String("lint", "on", "statically verify the bundled kernels before running: on|off")
+		figID    = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, campaign, sampling, schedulers, latency); empty = all")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		chart    = flag.Bool("chart", false, "render ASCII charts where available")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulator runs (results are identical at any value)")
+		progress = flag.Bool("progress", false, "report per-figure run completion on stderr")
+		lint     = flag.String("lint", "on", "statically verify the bundled kernels before running: on|off")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Long experiment runs should not discover a malformed kernel
 	// halfway through; verify the whole suite up front.
@@ -44,26 +58,43 @@ func main() {
 		}
 	}
 
+	e := &experiments.Engine{Workers: *parallel}
+	if *progress {
+		e.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rexperiments: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
 	figures := []figure{
-		{"1", func() (*stats.Table, error) { r, err := warped.RunFig1(); return tbl(r, err) },
-			func() (string, error) { r, err := warped.RunFig1(); return chartOf(r, err) }},
-		{"5", func() (*stats.Table, error) { r, err := warped.RunFig5(); return tbl(r, err) },
-			func() (string, error) { r, err := warped.RunFig5(); return chartOf(r, err) }},
-		{"8a", func() (*stats.Table, error) { r, err := warped.RunFig8a(); return tbl(r, err) }, nil},
-		{"8b", func() (*stats.Table, error) { r, err := warped.RunFig8b(); return tbl(r, err) }, nil},
-		{"9a", func() (*stats.Table, error) { r, err := warped.RunFig9a(); return tbl(r, err) },
-			func() (string, error) { r, err := warped.RunFig9a(); return chartOf(r, err) }},
-		{"9b", func() (*stats.Table, error) { r, err := warped.RunFig9b(); return tbl(r, err) },
-			func() (string, error) { r, err := warped.RunFig9b(); return chartOf(r, err) }},
-		{"10", func() (*stats.Table, error) { r, err := warped.RunFig10(); return tbl(r, err) },
-			func() (string, error) { r, err := warped.RunFig10(); return chartOf(r, err) }},
-		{"11", func() (*stats.Table, error) { r, err := warped.RunFig11(); return tbl(r, err) },
-			func() (string, error) { r, err := warped.RunFig11(); return chartOf(r, err) }},
-		{"table4", table4, nil},
-		{"sampling", func() (*stats.Table, error) { r, err := experiments.RunSampling(); return tbl(r, err) }, nil},
-		{"schedulers", func() (*stats.Table, error) { r, err := experiments.RunSchedulerStudy(); return tbl(r, err) }, nil},
-		{"latency", func() (*stats.Table, error) {
-			r, err := experiments.RunDetectionLatency("MatrixMul", 12, 5)
+		{"1", func(ctx context.Context) (*stats.Table, error) { r, err := e.Fig1(ctx); return tbl(r, err) },
+			func(ctx context.Context) (string, error) { r, err := e.Fig1(ctx); return chartOf(r, err) }},
+		{"5", func(ctx context.Context) (*stats.Table, error) { r, err := e.Fig5(ctx); return tbl(r, err) },
+			func(ctx context.Context) (string, error) { r, err := e.Fig5(ctx); return chartOf(r, err) }},
+		{"8a", func(ctx context.Context) (*stats.Table, error) { r, err := e.Fig8a(ctx); return tbl(r, err) }, nil},
+		{"8b", func(ctx context.Context) (*stats.Table, error) { r, err := e.Fig8b(ctx); return tbl(r, err) }, nil},
+		{"9a", func(ctx context.Context) (*stats.Table, error) { r, err := e.Fig9a(ctx); return tbl(r, err) },
+			func(ctx context.Context) (string, error) { r, err := e.Fig9a(ctx); return chartOf(r, err) }},
+		{"9b", func(ctx context.Context) (*stats.Table, error) { r, err := e.Fig9b(ctx); return tbl(r, err) },
+			func(ctx context.Context) (string, error) { r, err := e.Fig9b(ctx); return chartOf(r, err) }},
+		{"10", func(ctx context.Context) (*stats.Table, error) { r, err := e.Fig10(ctx); return tbl(r, err) },
+			func(ctx context.Context) (string, error) { r, err := e.Fig10(ctx); return chartOf(r, err) }},
+		{"11", func(ctx context.Context) (*stats.Table, error) { r, err := e.Fig11(ctx); return tbl(r, err) },
+			func(ctx context.Context) (string, error) { r, err := e.Fig11(ctx); return chartOf(r, err) }},
+		{"table4", func(context.Context) (*stats.Table, error) { return table4() }, nil},
+		{"campaign", func(ctx context.Context) (*stats.Table, error) {
+			r, err := e.Campaign(ctx, "MatrixMul", 24, 1)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.CampaignTable([]*experiments.CampaignResult{r}), nil
+		}, nil},
+		{"sampling", func(ctx context.Context) (*stats.Table, error) { r, err := e.Sampling(ctx); return tbl(r, err) }, nil},
+		{"schedulers", func(ctx context.Context) (*stats.Table, error) { r, err := e.SchedulerStudy(ctx); return tbl(r, err) }, nil},
+		{"latency", func(ctx context.Context) (*stats.Table, error) {
+			r, err := e.DetectionLatency(ctx, "MatrixMul", 12, 5)
 			return tbl(r, err)
 		}, nil},
 	}
@@ -75,7 +106,7 @@ func main() {
 		}
 		ran = true
 		if *chart && f.chart != nil {
-			out, err := f.chart()
+			out, err := f.chart(ctx)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f.id, err)
 				os.Exit(1)
@@ -83,7 +114,7 @@ func main() {
 			fmt.Println(out)
 			continue
 		}
-		t, err := f.run()
+		t, err := f.run(ctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: figure %s: %v\n", f.id, err)
 			os.Exit(1)

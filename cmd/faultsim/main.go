@@ -11,9 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"warped"
 	"warped/internal/core"
@@ -27,9 +31,13 @@ func main() {
 		all       = flag.Bool("all", false, "run a campaign on every benchmark")
 		n         = flag.Int("n", 20, "trials per benchmark")
 		seed      = flag.Int64("seed", 1, "campaign RNG seed")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for campaign trials (results are identical at any value)")
 		diagnose  = flag.Bool("diagnose", false, "plant one stuck-at fault and isolate the faulty lane")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *diagnose {
 		runDiagnose(*benchName, *seed)
@@ -48,9 +56,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	e := &warped.Engine{Workers: *parallel}
 	var results []*warped.CampaignResult
 	for _, name := range names {
-		c, err := warped.RunCampaign(name, *n, *seed)
+		c, err := e.Campaign(ctx, name, *n, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faultsim: %s: %v\n", name, err)
 			os.Exit(1)

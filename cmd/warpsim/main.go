@@ -12,12 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"warped"
 	"warped/internal/asm"
@@ -50,6 +53,9 @@ func main() {
 		lintMode  = flag.String("lint", "on", "statically verify kernels before running: on|off")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	lint, err := parseLintMode(*lintMode)
 	if err != nil {
@@ -106,7 +112,7 @@ func main() {
 	}
 
 	if *kernPath != "" {
-		if err := runCustom(cfg, *kernPath, *grid, *block, *shared, *params, *traceOut, lint); err != nil {
+		if err := runCustom(ctx, cfg, *kernPath, *grid, *block, *shared, *params, *traceOut, lint); err != nil {
 			fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -118,7 +124,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	res, err := warped.RunBenchmark(*benchName, cfg)
+	res, err := (&warped.Runner{}).Run(ctx, *benchName, warped.WithConfig(cfg))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
 		os.Exit(1)
@@ -129,7 +135,7 @@ func main() {
 // runCustom assembles and launches a user-provided kernel file. With
 // lint enabled, error-severity verifier findings abort the launch and
 // warnings print to stderr; -lint=off skips verification entirely.
-func runCustom(cfg warped.Config, path, grid, block string, shared int, paramList, traceOut string, lint bool) error {
+func runCustom(ctx context.Context, cfg warped.Config, path, grid, block string, shared int, paramList, traceOut string, lint bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -187,7 +193,7 @@ func runCustom(cfg warped.Config, path, grid, block string, shared int, paramLis
 	if prog.SharedBytes > shared {
 		shared = prog.SharedBytes // honour the kernel's .shared directive
 	}
-	st, err := gpu.Launch(&warped.Kernel{
+	st, err := gpu.LaunchContext(ctx, &warped.Kernel{
 		Prog:  prog,
 		GridX: gx, GridY: gy, BlockX: bx, BlockY: by,
 		SharedBytes: shared,

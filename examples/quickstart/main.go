@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,17 +12,19 @@ import (
 )
 
 func main() {
-	// The machine of the paper's Table 3, first without protection...
+	// The machine of the paper's Table 3, without protection and with
+	// full Warped-DMR: intra-warp spatial redundancy on idle SIMT lanes
+	// plus inter-warp temporal redundancy through the ReplayQ, with
+	// round-robin thread-to-cluster mapping. Runner.Run is the single
+	// entry point: the config is a functional option (the default is
+	// WarpedDMRConfig) and the context can cancel a run mid-kernel.
 	base := warped.PaperConfig()
-	plain, err := warped.RunBenchmark("MatrixMul", base)
+	r := &warped.Runner{}
+	plain, err := r.Run(context.Background(), "MatrixMul", warped.WithConfig(base))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// ...then with full Warped-DMR: intra-warp spatial redundancy on
-	// idle SIMT lanes plus inter-warp temporal redundancy through the
-	// ReplayQ, with round-robin thread-to-cluster mapping.
-	protected, err := warped.RunBenchmark("MatrixMul", warped.WarpedDMRConfig())
+	protected, err := r.Run(context.Background(), "MatrixMul")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 
 	"warped/internal/arch"
@@ -69,6 +70,12 @@ func (r Result) TotalS() float64 { return r.KernelS + r.TransferS }
 // end-to-end time decomposition. base must have DMR disabled; Evaluate
 // derives the per-approach configuration from it.
 func Evaluate(a Approach, bench *kernels.Benchmark, base arch.Config, pcie xfer.Model) (Result, error) {
+	return EvaluateContext(context.Background(), a, bench, base, pcie)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation plumbed
+// into every kernel launch.
+func EvaluateContext(ctx context.Context, a Approach, bench *kernels.Benchmark, base arch.Config, pcie xfer.Model) (Result, error) {
 	cfg := base
 	cfg.DMR = arch.DMROff
 	shadow := false
@@ -97,13 +104,11 @@ func Evaluate(a Approach, bench *kernels.Benchmark, base arch.Config, pcie xfer.
 	for i, step := range run.Steps {
 		k := step.Kernel
 		k.ShadowGrid = shadow
-		st, err := g.Launch(k, sim.LaunchOpts{})
+		st, err := g.LaunchContext(ctx, k, sim.LaunchOpts{})
 		if err != nil {
 			return Result{}, fmt.Errorf("%s/%s: launch %d: %w", bench.Name, a, i, err)
 		}
-		cycles := total.Cycles + st.Cycles
-		total.Merge(st)
-		total.Cycles = cycles
+		total.MergeSerial(st)
 		if step.Host != nil {
 			if err := step.Host(g); err != nil {
 				return Result{}, fmt.Errorf("%s/%s: host step %d: %w", bench.Name, a, i, err)
@@ -137,9 +142,14 @@ func Evaluate(a Approach, bench *kernels.Benchmark, base arch.Config, pcie xfer.
 
 // EvaluateAll runs every approach for one benchmark.
 func EvaluateAll(bench *kernels.Benchmark, base arch.Config, pcie xfer.Model) ([]Result, error) {
+	return EvaluateAllContext(context.Background(), bench, base, pcie)
+}
+
+// EvaluateAllContext runs every approach for one benchmark under ctx.
+func EvaluateAllContext(ctx context.Context, bench *kernels.Benchmark, base arch.Config, pcie xfer.Model) ([]Result, error) {
 	out := make([]Result, 0, len(Approaches))
 	for _, a := range Approaches {
-		r, err := Evaluate(a, bench, base, pcie)
+		r, err := EvaluateContext(ctx, a, bench, base, pcie)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"warped/internal/arch"
@@ -25,8 +26,12 @@ func (r *Fig9aResult) Averages() (c4, c8, cross float64) {
 	return mean(r.Cov4), mean(r.Cov8), mean(r.CovCross)
 }
 
-// RunFig9a reproduces Figure 9(a) under full Warped-DMR.
-func RunFig9a() (*Fig9aResult, error) {
+// RunFig9a reproduces Figure 9(a) on the default Engine.
+func RunFig9a() (*Fig9aResult, error) { return defaultEngine.Fig9a(context.Background()) }
+
+// Fig9a reproduces Figure 9(a) under full Warped-DMR. All three
+// machine variants fan out as one grid.
+func (e *Engine) Fig9a(ctx context.Context) (*Fig9aResult, error) {
 	mk := func(cluster int, mapping arch.MappingPolicy) arch.Config {
 		cfg := arch.PaperConfig()
 		cfg.DMR = arch.DMRFull
@@ -34,30 +39,19 @@ func RunFig9a() (*Fig9aResult, error) {
 		cfg.Mapping = mapping
 		return cfg
 	}
-	r := &Fig9aResult{}
-	for i, cfg := range []arch.Config{
+	names, res, err := e.runGrid(ctx, []arch.Config{
 		mk(4, arch.MapLinear),
 		mk(8, arch.MapLinear),
 		mk(4, arch.MapClusterRR),
-	} {
-		names, res, err := runAll(cfg, sim.LaunchOpts{})
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			r.Names = names
-		}
-		for _, st := range res {
-			cov := st.Coverage()
-			switch i {
-			case 0:
-				r.Cov4 = append(r.Cov4, cov)
-			case 1:
-				r.Cov8 = append(r.Cov8, cov)
-			case 2:
-				r.CovCross = append(r.CovCross, cov)
-			}
-		}
+	}, sim.LaunchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig9aResult{Names: names}
+	for bi := range names {
+		r.Cov4 = append(r.Cov4, res[0][bi].Coverage())
+		r.Cov8 = append(r.Cov8, res[1][bi].Coverage())
+		r.CovCross = append(r.CovCross, res[2][bi].Coverage())
 	}
 	return r, nil
 }
@@ -99,26 +93,29 @@ func (r *Fig9bResult) Averages() []float64 {
 	return out
 }
 
-// RunFig9b reproduces Figure 9(b): normalized kernel cycles under full
-// Warped-DMR with ReplayQ sizes 0, 1, 5, 10.
-func RunFig9b() (*Fig9bResult, error) {
-	baseNames, baseRes, err := runAll(arch.PaperConfig(), sim.LaunchOpts{})
+// RunFig9b reproduces Figure 9(b) on the default Engine.
+func RunFig9b() (*Fig9bResult, error) { return defaultEngine.Fig9b(context.Background()) }
+
+// Fig9b reproduces Figure 9(b): normalized kernel cycles under full
+// Warped-DMR with ReplayQ sizes 0, 1, 5, 10. The no-DMR baseline and
+// every ReplayQ size run as one (1+len(Fig9bSizes)) × benchmarks grid.
+func (e *Engine) Fig9b(ctx context.Context) (*Fig9bResult, error) {
+	cfgs := []arch.Config{arch.PaperConfig()}
+	for _, size := range Fig9bSizes {
+		cfg := arch.WarpedDMRConfig()
+		cfg.ReplayQSize = size
+		cfgs = append(cfgs, cfg)
+	}
+	names, res, err := e.runGrid(ctx, cfgs, sim.LaunchOpts{})
 	if err != nil {
 		return nil, err
 	}
-	r := &Fig9bResult{Names: baseNames, Normalized: make([][]float64, len(baseNames))}
-	for si, size := range Fig9bSizes {
-		cfg := arch.WarpedDMRConfig()
-		cfg.ReplayQSize = size
-		_, res, err := runAll(cfg, sim.LaunchOpts{})
-		if err != nil {
-			return nil, err
-		}
-		for bi := range baseRes {
-			if si == 0 {
-				r.Normalized[bi] = make([]float64, len(Fig9bSizes))
-			}
-			r.Normalized[bi][si] = float64(res[bi].Cycles) / float64(baseRes[bi].Cycles)
+	base := res[0]
+	r := &Fig9bResult{Names: names, Normalized: make([][]float64, len(names))}
+	for bi := range names {
+		r.Normalized[bi] = make([]float64, len(Fig9bSizes))
+		for si := range Fig9bSizes {
+			r.Normalized[bi][si] = float64(res[si+1][bi].Cycles) / float64(base[bi].Cycles)
 		}
 	}
 	return r, nil

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +11,7 @@ import (
 	"warped/internal/fault"
 	"warped/internal/kernels"
 	"warped/internal/power"
+	"warped/internal/runner"
 	"warped/internal/sim"
 	"warped/internal/stats"
 	"warped/internal/xfer"
@@ -22,18 +25,28 @@ type Fig10Result struct {
 	Transfer [][]float64
 }
 
-// RunFig10 reproduces Figure 10.
-func RunFig10() (*Fig10Result, error) {
+// RunFig10 reproduces Figure 10 on the default Engine.
+func RunFig10() (*Fig10Result, error) { return defaultEngine.Fig10(context.Background()) }
+
+// Fig10 reproduces Figure 10. Each (benchmark, approach) evaluation is
+// an independent run, so the whole 11×5 grid fans out at once.
+func (e *Engine) Fig10(ctx context.Context) (*Fig10Result, error) {
 	pcie := xfer.PCIe2x16()
+	bs := kernels.All()
+	na := len(baselines.Approaches)
+	flat, err := runner.Map(ctx, e.pool(), len(bs)*na,
+		func(ctx context.Context, i int) (baselines.Result, error) {
+			return baselines.EvaluateContext(ctx, baselines.Approaches[i%na], bs[i/na], arch.PaperConfig(), pcie)
+		})
+	if err != nil {
+		return nil, err
+	}
 	r := &Fig10Result{}
-	for _, b := range kernels.All() {
-		res, err := baselines.EvaluateAll(b, arch.PaperConfig(), pcie)
-		if err != nil {
-			return nil, err
-		}
+	for bi, b := range bs {
 		r.Names = append(r.Names, b.Name)
 		var ks, ts []float64
-		for _, x := range res {
+		for ai := 0; ai < na; ai++ {
+			x := flat[bi*na+ai]
 			ks = append(ks, x.KernelS)
 			ts = append(ts, x.TransferS)
 		}
@@ -97,23 +110,22 @@ type Fig11Result struct {
 // Averages returns the benchmark-average normalized power and energy.
 func (r *Fig11Result) Averages() (p, e float64) { return mean(r.Power), mean(r.Energy) }
 
-// RunFig11 reproduces Figure 11 with the Hong&Kim-style model.
-func RunFig11() (*Fig11Result, error) {
+// RunFig11 reproduces Figure 11 on the default Engine.
+func RunFig11() (*Fig11Result, error) { return defaultEngine.Fig11(context.Background()) }
+
+// Fig11 reproduces Figure 11 with the Hong&Kim-style model.
+func (e *Engine) Fig11(ctx context.Context) (*Fig11Result, error) {
 	pp := power.DefaultParams()
 	baseCfg := arch.PaperConfig()
 	dmrCfg := arch.WarpedDMRConfig()
-	names, baseRes, err := runAll(baseCfg, sim.LaunchOpts{})
-	if err != nil {
-		return nil, err
-	}
-	_, dmrRes, err := runAll(dmrCfg, sim.LaunchOpts{})
+	names, res, err := e.runGrid(ctx, []arch.Config{baseCfg, dmrCfg}, sim.LaunchOpts{})
 	if err != nil {
 		return nil, err
 	}
 	r := &Fig11Result{Names: names}
 	for i := range names {
-		b := power.Estimate(baseCfg, pp, baseRes[i])
-		d := power.Estimate(dmrCfg, pp, dmrRes[i])
+		b := power.Estimate(baseCfg, pp, res[0][i])
+		d := power.Estimate(dmrCfg, pp, res[1][i])
 		r.Power = append(r.Power, d.TotalW/b.TotalW)
 		r.Energy = append(r.Energy, d.EnergyJ/b.EnergyJ)
 	}
@@ -153,62 +165,89 @@ func (c CampaignResult) DetectionRate() float64 {
 	return float64(c.Detected) / float64(c.Activated)
 }
 
-// RunCampaign injects n random stuck-at faults (one per run) into a
-// benchmark under full Warped-DMR and reports how many were caught.
+// RunCampaign runs a campaign on the default Engine.
 func RunCampaign(benchName string, n int, seed int64) (*CampaignResult, error) {
+	return defaultEngine.Campaign(context.Background(), benchName, n, seed)
+}
+
+// campaignOutcome classifies one fault-injected run.
+type campaignOutcome struct {
+	activated, detected, crashed bool
+}
+
+// Campaign injects n random stuck-at faults (one per run) into a
+// benchmark under full Warped-DMR and reports how many were caught.
+// The fault sequence is drawn from the seed up front, in run order, so
+// the campaign is reproducible and byte-identical at any worker count;
+// the n runs themselves fan out across the pool.
+func (e *Engine) Campaign(ctx context.Context, benchName string, n int, seed int64) (*CampaignResult, error) {
 	b, err := kernels.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
 	cfg := arch.WarpedDMRConfig()
-	out := &CampaignResult{Benchmark: benchName, Runs: n}
-	for i := 0; i < n; i++ {
-		// Bias toward hardware the workload actually exercises: the block
-		// dispatcher fills low-numbered SMs first, and low result bits
-		// toggle far more often than high ones, so unbiased draws mostly
-		// produce faults that never activate.
+	// Bias toward hardware the workload actually exercises: the block
+	// dispatcher fills low-numbered SMs first, and low result bits
+	// toggle far more often than high ones, so unbiased draws mostly
+	// produce faults that never activate.
+	rng := rand.New(rand.NewSource(seed))
+	faults := make([]*fault.Fault, n)
+	for i := range faults {
 		f := fault.RandomStuckAt(rng, min(cfg.NumSMs, 8))
 		f.Bit = uint(rng.Intn(12))
-		inj := fault.NewInjector(f)
+		faults[i] = f
+	}
+
+	outcomes, err := runner.Map(ctx, e.pool(), n, func(ctx context.Context, i int) (campaignOutcome, error) {
+		inj := fault.NewInjector(faults[i])
 		g, err := sim.New(cfg, 0)
 		if err != nil {
-			return nil, err
+			return campaignOutcome{}, err
 		}
 		run, err := b.Build(g)
 		if err != nil {
-			return nil, err
+			return campaignOutcome{}, err
 		}
-		var detected bool
-		var activated, crashed bool
+		var o campaignOutcome
 		for _, step := range run.Steps {
-			st, err := g.Launch(step.Kernel, sim.LaunchOpts{Fault: inj})
+			st, err := g.LaunchContext(ctx, step.Kernel, sim.LaunchOpts{Fault: inj})
 			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return campaignOutcome{}, err // cancelled, not a DUE
+				}
 				// A corrupted address computation can run off the end of
 				// memory; the launch aborts, which is a detection of sorts
 				// (DUE rather than SDC) but we count it separately.
-				crashed = true
+				o.crashed = true
 				break
 			}
 			if st.FaultsDetected > 0 {
-				detected = true
+				o.detected = true
 			}
 			if step.Host != nil {
 				if err := step.Host(g); err != nil {
-					crashed = true
+					o.crashed = true
 					break
 				}
 			}
 		}
-		activated = inj.Activations > 0
-		if !activated {
+		o.activated = inj.Activations > 0
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &CampaignResult{Benchmark: benchName, Runs: n}
+	for _, o := range outcomes {
+		if !o.activated {
 			continue
 		}
 		out.Activated++
 		switch {
-		case detected:
+		case o.detected:
 			out.Detected++
-		case crashed:
+		case o.crashed:
 			out.Crashed++
 		default:
 			out.Silent++

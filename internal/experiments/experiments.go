@@ -6,34 +6,24 @@
 // software and temporal-DMR baselines (Fig. 10), power and energy
 // (Fig. 11), and a fault-injection campaign that validates the
 // coverage numbers empirically (repository extension).
+//
+// Every harness runs its (benchmark × config × seed) grid through the
+// Engine's worker pool: independent runs execute concurrently, results
+// merge by submission index, and the rendered tables are byte-identical
+// to a serial execution. The package-level Run* functions are thin
+// wrappers over a default Engine with background context.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"warped/internal/arch"
 	"warped/internal/kernels"
+	"warped/internal/runner"
 	"warped/internal/sim"
 	"warped/internal/stats"
 )
-
-// runAll executes every benchmark under cfg, returning per-benchmark
-// stats in paper order.
-func runAll(cfg arch.Config, opts sim.LaunchOpts) (names []string, res []*stats.Stats, err error) {
-	for _, b := range kernels.All() {
-		g, err := sim.New(cfg, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		st, err := kernels.Execute(g, b, opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		names = append(names, b.Name)
-		res = append(res, st)
-	}
-	return names, res, nil
-}
 
 func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
 func f2(f float64) string  { return fmt.Sprintf("%.2f", f) }
@@ -54,9 +44,12 @@ type Fig1Result struct {
 	Fractions [][5]float64 // per benchmark: buckets 1, 2-11, 12-21, 22-31, 32
 }
 
-// RunFig1 reproduces Figure 1 on the plain (no-DMR) machine.
-func RunFig1() (*Fig1Result, error) {
-	names, res, err := runAll(arch.PaperConfig(), sim.LaunchOpts{})
+// RunFig1 reproduces Figure 1 on the default Engine.
+func RunFig1() (*Fig1Result, error) { return defaultEngine.Fig1(context.Background()) }
+
+// Fig1 reproduces Figure 1 on the plain (no-DMR) machine.
+func (e *Engine) Fig1(ctx context.Context) (*Fig1Result, error) {
+	names, res, err := e.runAll(ctx, arch.PaperConfig(), sim.LaunchOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -86,9 +79,12 @@ type Fig5Result struct {
 	Fractions [][3]float64 // SP, SFU, LDST
 }
 
-// RunFig5 reproduces Figure 5.
-func RunFig5() (*Fig5Result, error) {
-	names, res, err := runAll(arch.PaperConfig(), sim.LaunchOpts{})
+// RunFig5 reproduces Figure 5 on the default Engine.
+func RunFig5() (*Fig5Result, error) { return defaultEngine.Fig5(context.Background()) }
+
+// Fig5 reproduces Figure 5.
+func (e *Engine) Fig5(ctx context.Context) (*Fig5Result, error) {
+	names, res, err := e.runAll(ctx, arch.PaperConfig(), sim.LaunchOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -118,10 +114,13 @@ type Fig8aResult struct {
 	Mean  [][3]float64 // SP, LDST, SFU run lengths per benchmark
 }
 
-// RunFig8a reproduces Figure 8(a): the average distance before the
+// RunFig8a reproduces Figure 8(a) on the default Engine.
+func RunFig8a() (*Fig8aResult, error) { return defaultEngine.Fig8a(context.Background()) }
+
+// Fig8a reproduces Figure 8(a): the average distance before the
 // issued instruction type switches — the key ReplayQ sizing input.
-func RunFig8a() (*Fig8aResult, error) {
-	names, res, err := runAll(arch.PaperConfig(), sim.LaunchOpts{})
+func (e *Engine) Fig8a(ctx context.Context) (*Fig8aResult, error) {
+	names, res, err := e.runAll(ctx, arch.PaperConfig(), sim.LaunchOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -162,32 +161,43 @@ var fig8bBenchmarks = []string{
 	"MatrixMul", "CUFFT", "BitonicSort", "Nqueen", "Laplace", "SHA", "RadixSort",
 }
 
-// RunFig8b reproduces Figure 8(b): cycles between a register write and
+// RunFig8b reproduces Figure 8(b) on the default Engine.
+func RunFig8b() (*Fig8bResult, error) { return defaultEngine.Fig8b(context.Background()) }
+
+// Fig8b reproduces Figure 8(b): cycles between a register write and
 // its next read in one tracked warp (warp 1, or warp 0 for single-warp
 // blocks, as the paper does for SHA).
-func RunFig8b() (*Fig8bResult, error) {
+func (e *Engine) Fig8b(ctx context.Context) (*Fig8bResult, error) {
+	trackers, err := runner.Map(ctx, e.pool(), len(fig8bBenchmarks),
+		func(ctx context.Context, i int) (*stats.RAWTracker, error) {
+			name := fig8bBenchmarks[i]
+			b, err := kernels.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			g, err := sim.New(arch.PaperConfig(), 0)
+			if err != nil {
+				return nil, err
+			}
+			st, err := kernels.ExecuteContext(ctx, g, b, sim.LaunchOpts{TrackRAW: true})
+			if err != nil {
+				return nil, err
+			}
+			if st.RAW == nil {
+				return nil, fmt.Errorf("experiments: no RAW tracker for %s", name)
+			}
+			return st.RAW, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	r := &Fig8bResult{}
-	for _, name := range fig8bBenchmarks {
-		b, err := kernels.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		g, err := sim.New(arch.PaperConfig(), 0)
-		if err != nil {
-			return nil, err
-		}
-		st, err := kernels.Execute(g, b, sim.LaunchOpts{TrackRAW: true})
-		if err != nil {
-			return nil, err
-		}
-		if st.RAW == nil {
-			return nil, fmt.Errorf("experiments: no RAW tracker for %s", name)
-		}
-		r.Names = append(r.Names, name)
-		r.MinDist = append(r.MinDist, st.RAW.Min())
-		r.FracGE8 = append(r.FracGE8, st.RAW.FractionAtLeast(8))
-		r.FracGE100 = append(r.FracGE100, st.RAW.FractionAtLeast(100))
-		r.Trackers = append(r.Trackers, st.RAW)
+	for i, raw := range trackers {
+		r.Names = append(r.Names, fig8bBenchmarks[i])
+		r.MinDist = append(r.MinDist, raw.Min())
+		r.FracGE8 = append(r.FracGE8, raw.FractionAtLeast(8))
+		r.FracGE100 = append(r.FracGE100, raw.FractionAtLeast(100))
+		r.Trackers = append(r.Trackers, raw)
 	}
 	return r, nil
 }

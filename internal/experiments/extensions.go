@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -8,6 +10,7 @@ import (
 	"warped/internal/core"
 	"warped/internal/fault"
 	"warped/internal/kernels"
+	"warped/internal/runner"
 	"warped/internal/sim"
 	"warped/internal/stats"
 )
@@ -32,77 +35,94 @@ type SamplingResult struct {
 	Points     []SamplingPoint
 }
 
-// RunSampling sweeps the DMR duty cycle with a fixed 1000-cycle epoch.
-func RunSampling() (*SamplingResult, error) {
+// RunSampling sweeps the DMR duty cycle on the default Engine.
+func RunSampling() (*SamplingResult, error) { return defaultEngine.Sampling(context.Background()) }
+
+// Sampling sweeps the DMR duty cycle with a fixed 1000-cycle epoch.
+// The no-DMR baselines fan out across benchmarks, then each duty-cycle
+// point runs as an independent task (its RNG is seeded by the duty, so
+// draws stay in the serial order within a point and the sweep is
+// deterministic at any worker count).
+func (e *Engine) Sampling(ctx context.Context) (*SamplingResult, error) {
 	duties := []int{100, 50, 25, 10}
 	const epoch = 1000
 	const transientTrials = 12
 
+	base, err := runner.Map(ctx, e.pool(), len(samplingBenchmarks),
+		func(ctx context.Context, i int) (*stats.Stats, error) {
+			return runBench(ctx, samplingBenchmarks[i], arch.PaperConfig(), sim.LaunchOpts{})
+		})
+	if err != nil {
+		return nil, err
+	}
 	baseCycles := map[string]int64{}
-	for _, name := range samplingBenchmarks {
-		st, err := runBench(name, arch.PaperConfig(), sim.LaunchOpts{})
-		if err != nil {
-			return nil, err
-		}
-		baseCycles[name] = st.Cycles
+	for i, name := range samplingBenchmarks {
+		baseCycles[name] = base[i].Cycles
 	}
 
-	out := &SamplingResult{Benchmarks: samplingBenchmarks}
-	for _, duty := range duties {
-		cfg := arch.WarpedDMRConfig()
-		if duty < 100 {
-			cfg.SamplePeriod = epoch
-			cfg.SampleOn = int64(epoch * duty / 100)
-		}
-		var covs, ovhs []float64
-		detected, activated := 0, 0
-		rng := rand.New(rand.NewSource(int64(duty)))
-		for _, name := range samplingBenchmarks {
-			st, err := runBench(name, cfg, sim.LaunchOpts{})
-			if err != nil {
-				return nil, err
+	points, err := runner.Map(ctx, e.pool(), len(duties),
+		func(ctx context.Context, di int) (SamplingPoint, error) {
+			duty := duties[di]
+			cfg := arch.WarpedDMRConfig()
+			if duty < 100 {
+				cfg.SamplePeriod = epoch
+				cfg.SampleOn = int64(epoch * duty / 100)
 			}
-			covs = append(covs, st.Coverage())
-			ovhs = append(ovhs, float64(st.Cycles)/float64(baseCycles[name]))
-
-			// Transient sensitivity: one random single-event upset per
-			// trial, within the portion of the run DMR might see.
-			for trial := 0; trial < transientTrials/len(samplingBenchmarks); trial++ {
-				f := fault.RandomTransient(rng, 8, baseCycles[name])
-				f.Unit = 0 // SP, the most exercised unit
-				f.Bit = uint(rng.Intn(12))
-				inj := fault.NewInjector(f)
-				fst, err := runBench(name, cfg, sim.LaunchOpts{Fault: inj})
+			var covs, ovhs []float64
+			detected, activated := 0, 0
+			rng := rand.New(rand.NewSource(int64(duty)))
+			for _, name := range samplingBenchmarks {
+				st, err := runBench(ctx, name, cfg, sim.LaunchOpts{})
 				if err != nil {
-					// Address corruption aborted the kernel: a DUE, which
-					// counts as caught for this comparison.
+					return SamplingPoint{}, err
+				}
+				covs = append(covs, st.Coverage())
+				ovhs = append(ovhs, float64(st.Cycles)/float64(baseCycles[name]))
+
+				// Transient sensitivity: one random single-event upset per
+				// trial, within the portion of the run DMR might see.
+				for trial := 0; trial < transientTrials/len(samplingBenchmarks); trial++ {
+					f := fault.RandomTransient(rng, 8, baseCycles[name])
+					f.Unit = 0 // SP, the most exercised unit
+					f.Bit = uint(rng.Intn(12))
+					inj := fault.NewInjector(f)
+					fst, err := runBench(ctx, name, cfg, sim.LaunchOpts{Fault: inj})
+					if err != nil {
+						if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+							return SamplingPoint{}, err
+						}
+						// Address corruption aborted the kernel: a DUE, which
+						// counts as caught for this comparison.
+						if inj.Activations > 0 {
+							activated++
+							detected++
+						}
+						continue
+					}
 					if inj.Activations > 0 {
 						activated++
-						detected++
-					}
-					continue
-				}
-				if inj.Activations > 0 {
-					activated++
-					if fst.FaultsDetected > 0 {
-						detected++
+						if fst.FaultsDetected > 0 {
+							detected++
+						}
 					}
 				}
 			}
-		}
-		p := SamplingPoint{DutyPct: duty, Coverage: mean(covs), Overhead: mean(ovhs)}
-		if activated > 0 {
-			p.Transient = float64(detected) / float64(activated)
-		}
-		out.Points = append(out.Points, p)
+			p := SamplingPoint{DutyPct: duty, Coverage: mean(covs), Overhead: mean(ovhs)}
+			if activated > 0 {
+				p.Transient = float64(detected) / float64(activated)
+			}
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &SamplingResult{Benchmarks: samplingBenchmarks, Points: points}, nil
 }
 
 // runBench executes one benchmark without validation short-circuiting
 // on fault-corrupted outputs (validation errors are only fatal for
 // fault-free runs, where they indicate simulator bugs).
-func runBench(name string, cfg arch.Config, opts sim.LaunchOpts) (*stats.Stats, error) {
+func runBench(ctx context.Context, name string, cfg arch.Config, opts sim.LaunchOpts) (*stats.Stats, error) {
 	b, err := kernels.ByName(name)
 	if err != nil {
 		return nil, err
@@ -117,13 +137,11 @@ func runBench(name string, cfg arch.Config, opts sim.LaunchOpts) (*stats.Stats, 
 	}
 	total := &stats.Stats{}
 	for i, step := range run.Steps {
-		st, err := g.Launch(step.Kernel, opts)
+		st, err := g.LaunchContext(ctx, step.Kernel, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s launch %d: %w", name, i, err)
 		}
-		cycles := total.Cycles + st.Cycles
-		total.Merge(st)
-		total.Cycles = cycles
+		total.MergeSerial(st)
 		if step.Host != nil {
 			if err := step.Host(g); err != nil {
 				return nil, err
@@ -160,24 +178,25 @@ type SchedulerResult struct {
 	Speedup []float64
 }
 
-// RunSchedulerStudy compares 1 vs 2 schedulers per SM with DMR off.
+// RunSchedulerStudy compares schedulers on the default Engine.
 func RunSchedulerStudy() (*SchedulerResult, error) {
+	return defaultEngine.SchedulerStudy(context.Background())
+}
+
+// SchedulerStudy compares 1 vs 2 schedulers per SM with DMR off.
+func (e *Engine) SchedulerStudy(ctx context.Context) (*SchedulerResult, error) {
 	one := arch.PaperConfig()
 	two := arch.PaperConfig()
 	two.NumSchedulers = 2
-	names, res1, err := runAll(one, sim.LaunchOpts{})
-	if err != nil {
-		return nil, err
-	}
-	_, res2, err := runAll(two, sim.LaunchOpts{})
+	names, res, err := e.runGrid(ctx, []arch.Config{one, two}, sim.LaunchOpts{})
 	if err != nil {
 		return nil, err
 	}
 	r := &SchedulerResult{Names: names}
 	for i := range names {
-		r.IPC1 = append(r.IPC1, res1[i].IPC())
-		r.IPC2 = append(r.IPC2, res2[i].IPC())
-		r.Speedup = append(r.Speedup, float64(res1[i].Cycles)/float64(res2[i].Cycles))
+		r.IPC1 = append(r.IPC1, res[0][i].IPC())
+		r.IPC2 = append(r.IPC2, res[1][i].IPC())
+		r.Speedup = append(r.Speedup, float64(res[0][i].Cycles)/float64(res[1][i].Cycles))
 	}
 	return r, nil
 }
@@ -211,14 +230,29 @@ type LatencyResult struct {
 	KernelLen int64 // kernel cycles = the software end-of-run bound
 }
 
-// RunDetectionLatency injects one transient per trial under full
-// Warped-DMR and measures the activation-to-detection distance.
+// RunDetectionLatency measures detection latency on the default Engine.
 func RunDetectionLatency(benchName string, trials int, seed int64) (*LatencyResult, error) {
+	return defaultEngine.DetectionLatency(context.Background(), benchName, trials, seed)
+}
+
+// latencyTrial is one transient-injection measurement.
+type latencyTrial struct {
+	activated bool
+	detected  bool
+	delay     int64
+}
+
+// DetectionLatency injects one transient per trial under full
+// Warped-DMR and measures the activation-to-detection distance. The
+// per-trial faults are drawn from the seed up front, in trial order, so
+// the measurement is deterministic at any worker count; the trials
+// themselves fan out across the pool.
+func (e *Engine) DetectionLatency(ctx context.Context, benchName string, trials int, seed int64) (*LatencyResult, error) {
 	b, err := kernels.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	base, err := runBench(benchName, arch.PaperConfig(), sim.LaunchOpts{})
+	base, err := runBench(ctx, benchName, arch.PaperConfig(), sim.LaunchOpts{})
 	if err != nil {
 		return nil, err
 	}
@@ -226,23 +260,27 @@ func RunDetectionLatency(benchName string, trials int, seed int64) (*LatencyResu
 
 	rng := rand.New(rand.NewSource(seed))
 	cfg := arch.WarpedDMRConfig()
-	var totalDelay int64
-	for i := 0; i < trials; i++ {
+	faults := make([]*fault.Fault, trials)
+	for i := range faults {
 		f := fault.RandomTransient(rng, 8, base.Cycles)
 		f.Unit = 0 // SP
 		f.Bit = uint(rng.Intn(12))
-		inj := fault.NewInjector(f)
+		faults[i] = f
+	}
+
+	results, err := runner.Map(ctx, e.pool(), trials, func(ctx context.Context, i int) (latencyTrial, error) {
+		inj := fault.NewInjector(faults[i])
 		var firstDetect int64 = -1
 		g, err := sim.New(cfg, 0)
 		if err != nil {
-			return nil, err
+			return latencyTrial{}, err
 		}
 		run, err := b.Build(g)
 		if err != nil {
-			return nil, err
+			return latencyTrial{}, err
 		}
 		for _, step := range run.Steps {
-			_, err := g.Launch(step.Kernel, sim.LaunchOpts{
+			_, err := g.LaunchContext(ctx, step.Kernel, sim.LaunchOpts{
 				Fault: inj,
 				OnError: func(ev core.ErrorEvent) {
 					if firstDetect < 0 {
@@ -251,6 +289,9 @@ func RunDetectionLatency(benchName string, trials int, seed int64) (*LatencyResu
 				},
 			})
 			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return latencyTrial{}, err // cancelled, not a DUE
+				}
 				break // DUE: the crash itself is the detection
 			}
 			if step.Host != nil {
@@ -262,19 +303,30 @@ func RunDetectionLatency(benchName string, trials int, seed int64) (*LatencyResu
 				break
 			}
 		}
-		if inj.Activations == 0 {
+		tr := latencyTrial{activated: inj.Activations > 0}
+		if tr.activated && firstDetect >= 0 {
+			tr.detected = true
+			if d := firstDetect - inj.FirstActivation; d > 0 {
+				tr.delay = d
+			} // else detection in the same multi-launch window: delay 0
+		}
+		return tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var totalDelay int64
+	for _, tr := range results {
+		if !tr.activated {
 			continue
 		}
 		out.Activated++
-		if firstDetect >= 0 {
+		if tr.detected {
 			out.Detected++
-			d := firstDetect - inj.FirstActivation
-			if d < 0 {
-				d = 0 // detection in the same multi-launch window
-			}
-			totalDelay += d
-			if d > out.MaxDelay {
-				out.MaxDelay = d
+			totalDelay += tr.delay
+			if tr.delay > out.MaxDelay {
+				out.MaxDelay = tr.delay
 			}
 		}
 	}

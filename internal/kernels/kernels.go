@@ -11,6 +11,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -47,17 +48,24 @@ type Benchmark struct {
 // launches (cycles accumulate; everything else sums/merges), then
 // validates the results.
 func Execute(g *sim.GPU, b *Benchmark, opts sim.LaunchOpts) (*stats.Stats, error) {
+	return ExecuteContext(context.Background(), g, b, opts)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: ctx is
+// plumbed into every kernel launch, so a long multi-launch workload
+// aborts promptly when it fires.
+func ExecuteContext(ctx context.Context, g *sim.GPU, b *Benchmark, opts sim.LaunchOpts) (*stats.Stats, error) {
 	run, err := b.Build(g)
 	if err != nil {
 		return nil, fmt.Errorf("%s: build: %w", b.Name, err)
 	}
 	total := &stats.Stats{}
 	for i, step := range run.Steps {
-		st, err := g.Launch(step.Kernel, opts)
+		st, err := g.LaunchContext(ctx, step.Kernel, opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: launch %d: %w", b.Name, i, err)
 		}
-		accumulate(total, st)
+		total.MergeSerial(st)
 		if step.Host != nil {
 			if err := step.Host(g); err != nil {
 				return nil, fmt.Errorf("%s: host step %d: %w", b.Name, i, err)
@@ -70,14 +78,6 @@ func Execute(g *sim.GPU, b *Benchmark, opts sim.LaunchOpts) (*stats.Stats, error
 		}
 	}
 	return total, nil
-}
-
-// accumulate merges launch stats, summing cycles (launches execute
-// back-to-back, unlike the per-SM max that stats.Merge computes).
-func accumulate(total, st *stats.Stats) {
-	cycles := total.Cycles + st.Cycles
-	total.Merge(st)
-	total.Cycles = cycles
 }
 
 var registry []*Benchmark

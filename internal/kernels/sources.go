@@ -3,6 +3,7 @@ package kernels
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"warped/internal/asm"
 	"warped/internal/verify"
@@ -18,8 +19,13 @@ type Source struct {
 
 // sources lists every assembly kernel bundled with the benchmarks. The
 // generated sources (fft, matmul, sha) are built at init time, so this
-// table is populated lazily by Sources rather than at package init.
-var sources []Source
+// table is populated lazily by Sources rather than at package init; the
+// Once makes the lazy fill safe under concurrent lints (parallel runs
+// call LintAll from multiple goroutines).
+var (
+	sources     []Source
+	sourcesOnce sync.Once
+)
 
 func buildSources() []Source {
 	list := []struct {
@@ -61,9 +67,7 @@ func buildSources() []Source {
 
 // Sources returns every bundled kernel source, sorted by file then name.
 func Sources() []Source {
-	if sources == nil {
-		sources = buildSources()
-	}
+	sourcesOnce.Do(func() { sources = buildSources() })
 	return sources
 }
 

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// spinSrc runs long enough (hundreds of thousands of cycles) that a
+// mid-launch cancellation has plenty of check intervals to land in.
+const spinSrc = `
+.kernel spin
+	mov r0, 0
+LOOP:
+	iadd r0, r0, 1
+	setp.lt.s32 p0, r0, 100000
+	@p0 bra LOOP
+	exit
+`
+
+// TestLaunchContextCancelled: a context cancelled before launch aborts
+// immediately with a ctx.Err()-wrapped error.
+func TestLaunchContextCancelled(t *testing.T) {
+	g, k := launch(t, oneWarpCfg(), spinSrc, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.LaunchContext(ctx, k, LaunchOpts{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestLaunchContextMidRun: cancelling while the kernel spins returns
+// promptly (far sooner than the kernel's full runtime) with the
+// cancellation wrapped in the launch error.
+func TestLaunchContextMidRun(t *testing.T) {
+	g, k := launch(t, oneWarpCfg(), spinSrc, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := g.LaunchContext(ctx, k, LaunchOpts{})
+		errc <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("launch did not return within 5s of cancellation (started %v ago)", time.Since(start))
+	}
+}
+
+// TestLaunchContextDeadline: a deadline context interrupts the launch
+// with DeadlineExceeded.
+func TestLaunchContextDeadline(t *testing.T) {
+	g, k := launch(t, oneWarpCfg(), spinSrc, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := g.LaunchContext(ctx, k, LaunchOpts{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestLaunchNilContext: Launch and a nil ctx both behave like
+// context.Background() — the kernel runs to completion.
+func TestLaunchNilContext(t *testing.T) {
+	g, k := launch(t, oneWarpCfg(), spinSrc, nil)
+	st, err := g.LaunchContext(nil, k, LaunchOpts{}) //nolint:staticcheck // nil ctx is an documented alias for Background
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 {
+		t.Error("kernel produced no cycles")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -124,10 +125,30 @@ func (g *GPU) nextWarpGID() int {
 	return g.warpGIDs
 }
 
+// cancelCheckInterval is how many simulated cycles pass between
+// context-cancellation checks inside the Launch loop: coarse enough to
+// stay off the hot path, fine enough that cancelling a hung or
+// long-running kernel returns in well under a kernel's full runtime.
+const cancelCheckInterval = 4096
+
 // Launch runs one kernel to completion and returns its statistics.
 // The GPU's global memory persists across launches, so multi-kernel
 // workloads (e.g. BFS iterations, FFT stages) can chain launches.
 func (g *GPU) Launch(k *Kernel, opts LaunchOpts) (*stats.Stats, error) {
+	return g.LaunchContext(context.Background(), k, opts)
+}
+
+// LaunchContext is Launch with cooperative cancellation: the simulation
+// loop checks ctx every cancelCheckInterval simulated cycles and aborts
+// with a ctx.Err()-wrapped error when it fires, so hung kernels are
+// interruptible. A nil ctx behaves like context.Background().
+func (g *GPU) LaunchContext(ctx context.Context, k *Kernel, opts LaunchOpts) (*stats.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: launch aborted before cycle 0: %w", err)
+	}
 	if err := k.Validate(g.Cfg); err != nil {
 		return nil, err
 	}
@@ -235,6 +256,12 @@ func (g *GPU) Launch(k *Kernel, opts LaunchOpts) (*stats.Stats, error) {
 		if g.now >= maxCycles {
 			return nil, fmt.Errorf("sim: watchdog expired at %d cycles (%d/%d blocks done)",
 				g.now, g.blocksDone, numBlocks)
+		}
+		if g.now%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: launch cancelled at cycle %d (%d/%d blocks done): %w",
+					g.now, g.blocksDone, numBlocks, err)
+			}
 		}
 	}
 

@@ -259,6 +259,18 @@ func (s *Stats) TypeFractions() [3]float64 {
 	return out
 }
 
+// MergeSerial folds the stats of a subsequent back-to-back launch into
+// s: identical to Merge except that cycles accumulate, because the
+// launches executed one after another on the same simulated chip. Use
+// Merge for parallel shards (per-SM stats of one launch, where the
+// slowest shard bounds the kernel), MergeSerial for sequenced launches
+// of a multi-kernel workload.
+func (s *Stats) MergeSerial(o *Stats) {
+	cycles := s.Cycles + o.Cycles
+	s.Merge(o)
+	s.Cycles = cycles
+}
+
 // Merge folds another SM-local Stats into s (cycles take the max; the
 // RAW tracker is taken from the first contributor that has one).
 func (s *Stats) Merge(o *Stats) {

@@ -195,3 +195,27 @@ func TestStacked(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeSerialVsMerge: Merge takes the cycle max (parallel shards of
+// one launch), MergeSerial accumulates (back-to-back launches); every
+// additive counter behaves the same under both.
+func TestMergeSerialVsMerge(t *testing.T) {
+	mk := func(cycles, warps int64) *Stats {
+		return &Stats{Cycles: cycles, WarpInstrs: warps, EligibleTI: warps * 32}
+	}
+	par := mk(100, 10)
+	par.Merge(mk(70, 5))
+	if par.Cycles != 100 {
+		t.Errorf("Merge cycles = %d, want max 100", par.Cycles)
+	}
+	ser := mk(100, 10)
+	ser.MergeSerial(mk(70, 5))
+	if ser.Cycles != 170 {
+		t.Errorf("MergeSerial cycles = %d, want sum 170", ser.Cycles)
+	}
+	for _, s := range []*Stats{par, ser} {
+		if s.WarpInstrs != 15 || s.EligibleTI != 15*32 {
+			t.Errorf("additive counters diverged: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package warped
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"warped/internal/fault"
+	"warped/internal/isa"
+)
+
+func TestRunnerRunDefaults(t *testing.T) {
+	res, err := (&Runner{}).Run(context.Background(), "BitonicSort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "BitonicSort" || res.Attempts != 1 || res.Recovered {
+		t.Errorf("unexpected result metadata: %+v", res)
+	}
+	if res.Stats == nil || res.Cycles == 0 {
+		t.Error("expected populated stats")
+	}
+	if res.VerifiedIntra == 0 {
+		t.Error("default config should be WarpedDMRConfig (intra-warp DMR active)")
+	}
+}
+
+func TestRunnerRunUnknownBenchmark(t *testing.T) {
+	if _, err := (&Runner{}).Run(context.Background(), "NotABenchmark"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestRunnerRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := (&Runner{}).Run(ctx, "MatrixMul")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunnerRetryOptions(t *testing.T) {
+	// A one-shot transient under WithRetry: attempt 1 detects and
+	// aborts, attempt 2 is clean.
+	inj := fault.NewInjector(&Fault{
+		Kind: fault.Transient, SM: 0, Lane: 2, Unit: isa.UnitSP, Bit: 3, Cycle: 5,
+	})
+	res, err := (&Runner{}).Run(context.Background(), "BitonicSort",
+		WithFaults(inj, nil), WithStopOnError(), WithRetry(3))
+	if err != nil {
+		t.Fatalf("transient should recover: %v", err)
+	}
+	if !res.Recovered || res.Attempts != 2 {
+		t.Errorf("expected recovery on attempt 2, got %+v", res)
+	}
+	if res.Detections == 0 {
+		t.Error("the first attempt should have detected the corruption")
+	}
+}
+
+func TestRunnerRunManyOrdering(t *testing.T) {
+	names := []string{"BitonicSort", "BFS", "SCAN", "BitonicSort"}
+	res, err := (&Runner{Parallel: 4}).RunMany(context.Background(), names,
+		WithConfig(PaperConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(names) {
+		t.Fatalf("got %d results, want %d", len(res), len(names))
+	}
+	for i, r := range res {
+		if r.Benchmark != names[i] {
+			t.Errorf("res[%d] = %q, want %q (results must follow submission order)", i, r.Benchmark, names[i])
+		}
+	}
+}
+
+func TestRunnerRunManyFirstError(t *testing.T) {
+	names := []string{"BitonicSort", "NotABenchmark", "BFS"}
+	_, err := (&Runner{Parallel: 2}).RunMany(context.Background(), names)
+	if err == nil || !strings.Contains(err.Error(), "NotABenchmark") {
+		t.Fatalf("err = %v, want unknown-benchmark failure", err)
+	}
+}

@@ -7,9 +7,14 @@
 //
 // Quick start:
 //
-//	cfg := warped.WarpedDMRConfig()
-//	res, err := warped.RunBenchmark("MatrixMul", cfg)
+//	r := &warped.Runner{}
+//	res, err := r.Run(ctx, "MatrixMul")
 //	fmt.Printf("coverage %.1f%%, %d cycles\n", 100*res.Coverage(), res.Cycles)
+//
+// Runner is the context-aware entry point: functional options select
+// the configuration, fault injection, retry policy, and tracing, and
+// RunMany fans independent workloads out across a worker pool. The
+// RunBenchmark* helpers are deprecated wrappers over it.
 //
 // Custom kernels are written in a PTX-like assembly (see package
 // internal/asm for the syntax) and launched on a GPU instance:
@@ -21,6 +26,7 @@
 package warped
 
 import (
+	"context"
 	"fmt"
 
 	"warped/internal/arch"
@@ -33,6 +39,7 @@ import (
 	"warped/internal/kernels"
 	"warped/internal/mem"
 	"warped/internal/power"
+	"warped/internal/runner"
 	"warped/internal/sim"
 	"warped/internal/stats"
 	"warped/internal/trace"
@@ -177,65 +184,206 @@ func findBenchmark(name string) (*Benchmark, error) {
 type Result struct {
 	*Stats
 	Benchmark string
+
+	// Attempts is the number of workload executions behind this result:
+	// 1 unless WithRetry re-ran the workload after a detection.
+	Attempts int
+	// Recovered reports that at least one attempt was discarded after a
+	// comparator detection (or crash) and a later attempt ran clean.
+	Recovered bool
+	// Detections counts comparator mismatches across all attempts.
+	Detections int
+}
+
+// Runner executes Table 4 workloads through a single context-aware
+// entry point. The zero value is ready to use; Parallel and Progress
+// only affect RunMany.
+type Runner struct {
+	// Parallel is the RunMany worker-pool size; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Progress, when non-nil, is called after each RunMany workload
+	// completes with (done, total) counts.
+	Progress func(done, total int)
+}
+
+// runSpec is the resolved option set of one Run call.
+type runSpec struct {
+	cfg      Config
+	opts     LaunchOpts
+	attempts int
+	validate *bool // nil: validate only when no fault injector is set
+}
+
+// RunOption configures one Runner.Run invocation.
+type RunOption func(*runSpec)
+
+// WithConfig selects the simulated machine + DMR configuration. The
+// default is WarpedDMRConfig(), the paper's recommended machine.
+func WithConfig(cfg Config) RunOption { return func(s *runSpec) { s.cfg = cfg } }
+
+// WithFaults injects faults during the run; each detected mismatch is
+// reported through onError (which may be nil). Fault-injected runs skip
+// output validation by default (corrupted outputs are the scenario
+// under study); force it back on with WithValidation(true). The
+// injector records activations, so share one injector across concurrent
+// runs only if you do not read its counters until all runs finish —
+// prefer one injector per run.
+func WithFaults(inj *Injector, onError func(ErrorEvent)) RunOption {
+	return func(s *runSpec) { s.opts.Fault = inj; s.opts.OnError = onError }
+}
+
+// WithRetry re-executes the whole workload from its inputs — the
+// paper's §3.1 handling sketch — when a DMR comparator flags a mismatch
+// or the corrupted run crashes, up to maxAttempts times. Transient
+// faults vanish on the retry (Result.Recovered); persistent faults
+// exhaust the attempts and Run returns an error.
+func WithRetry(maxAttempts int) RunOption {
+	return func(s *runSpec) { s.attempts = maxAttempts }
+}
+
+// WithTrace streams one event per issued warp instruction to sink.
+// When the same sink is shared across RunMany workloads it must be safe
+// for concurrent use.
+func WithTrace(sink TraceSink) RunOption { return func(s *runSpec) { s.opts.Trace = sink } }
+
+// WithStopOnError aborts the run at the first detected mismatch — the
+// paper's "stop and raise an exception" permanent-fault response.
+func WithStopOnError() RunOption { return func(s *runSpec) { s.opts.StopOnError = true } }
+
+// WithLaunchOpts replaces the whole per-launch option set (fault hooks,
+// error thresholds, watchdog, tracing) for full control. It composes
+// poorly with the targeted options above — apply it first if you mix.
+func WithLaunchOpts(opts LaunchOpts) RunOption { return func(s *runSpec) { s.opts = opts } }
+
+// WithValidation forces output validation against the host reference on
+// or off, overriding the default (validate only fault-free runs).
+func WithValidation(on bool) RunOption { return func(s *runSpec) { s.validate = &on } }
+
+// Run executes one named Table 4 workload under ctx. Cancellation is
+// checked every few thousand simulated cycles, so even a hung kernel
+// returns promptly with a ctx.Err()-wrapped error.
+func (r *Runner) Run(ctx context.Context, name string, options ...RunOption) (*Result, error) {
+	spec := &runSpec{cfg: WarpedDMRConfig(), attempts: 1}
+	for _, o := range options {
+		o(spec)
+	}
+	if spec.attempts < 1 {
+		spec.attempts = 1
+	}
+	b, err := findBenchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Benchmark: name}
+	for attempt := 1; attempt <= spec.attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("warped: %s: %w", name, err)
+		}
+		out.Attempts = attempt
+		st, detections, err := runOnce(ctx, b, spec)
+		out.Detections += detections
+		if err == nil && st.FaultsDetected == 0 {
+			out.Stats = st
+			out.Recovered = attempt > 1
+			return out, nil
+		}
+		if err != nil && ctx.Err() != nil {
+			return nil, err // cancelled mid-attempt: don't retry
+		}
+		if spec.attempts == 1 {
+			if err != nil {
+				return nil, err
+			}
+			// Mismatches were detected but the run completed (no
+			// StopOnError, no retry budget): report them in the result.
+			out.Stats = st
+			return out, nil
+		}
+		// Detected (or crashed) with retries left: discard the attempt.
+	}
+	return nil, fmt.Errorf("warped: %s still failing after %d attempts: fault appears permanent", name, out.Attempts)
+}
+
+// runOnce executes every launch step of one workload attempt.
+func runOnce(ctx context.Context, b *Benchmark, spec *runSpec) (*Stats, int, error) {
+	g, err := sim.New(spec.cfg, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	run, err := b.Build(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	detections := 0
+	opts := spec.opts
+	userOnError := opts.OnError
+	opts.OnError = func(ev ErrorEvent) {
+		detections++
+		if userOnError != nil {
+			userOnError(ev)
+		}
+	}
+	total := &stats.Stats{}
+	for i, step := range run.Steps {
+		st, err := g.LaunchContext(ctx, step.Kernel, opts)
+		if err != nil {
+			return nil, detections, fmt.Errorf("%s: launch %d: %w", b.Name, i, err)
+		}
+		total.MergeSerial(st)
+		if step.Host != nil {
+			if err := step.Host(g); err != nil {
+				return nil, detections, err
+			}
+		}
+	}
+	validate := spec.opts.Fault == nil
+	if spec.validate != nil {
+		validate = *spec.validate
+	}
+	if validate && run.Check != nil {
+		if err := run.Check(g); err != nil {
+			return nil, detections, fmt.Errorf("%s: validation: %w", b.Name, err)
+		}
+	}
+	return total, detections, nil
+}
+
+// RunMany executes the named workloads concurrently on a worker pool of
+// r.Parallel goroutines and returns their results in input order (never
+// completion order). A panicking run becomes that workload's error; the
+// first failure cancels the remaining workloads.
+func (r *Runner) RunMany(ctx context.Context, names []string, options ...RunOption) ([]*Result, error) {
+	return runner.Map(ctx, runner.Options{Workers: r.Parallel, OnProgress: r.Progress},
+		len(names), func(ctx context.Context, i int) (*Result, error) {
+			return r.Run(ctx, names[i], options...)
+		})
 }
 
 // RunBenchmark executes one named Table 4 workload (including output
 // validation against its host reference) under cfg.
+//
+// Deprecated: use Runner.Run with WithConfig.
 func RunBenchmark(name string, cfg Config) (*Result, error) {
-	b, err := findBenchmark(name)
-	if err != nil {
-		return nil, err
-	}
-	g, err := sim.New(cfg, 0)
-	if err != nil {
-		return nil, err
-	}
-	st, err := kernels.Execute(g, b, sim.LaunchOpts{})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Stats: st, Benchmark: name}, nil
+	return (&Runner{}).Run(context.Background(), name, WithConfig(cfg))
 }
 
 // RunBenchmarkWithFaults executes a workload with fault injection; each
 // detected mismatch is reported through onError (which may be nil).
-// Note that corrupted outputs can fail the workload's validation — that
-// is the silent-data-corruption scenario Warped-DMR exists to flag.
+//
+// Deprecated: use Runner.Run with WithConfig and WithFaults.
 func RunBenchmarkWithFaults(name string, cfg Config, inj *Injector, onError func(ErrorEvent)) (*Result, error) {
-	return RunBenchmarkWithOpts(name, cfg, LaunchOpts{Fault: inj, OnError: onError})
+	return (&Runner{}).Run(context.Background(), name,
+		WithConfig(cfg), WithFaults(inj, onError))
 }
 
 // RunBenchmarkWithOpts executes a workload with full control over the
-// launch options (fault hooks, error thresholds, watchdog).
+// launch options (fault hooks, error thresholds, watchdog). It never
+// validates outputs, matching its historical behaviour.
+//
+// Deprecated: use Runner.Run with WithConfig and WithLaunchOpts.
 func RunBenchmarkWithOpts(name string, cfg Config, opts LaunchOpts) (*Result, error) {
-	b, err := findBenchmark(name)
-	if err != nil {
-		return nil, err
-	}
-	g, err := sim.New(cfg, 0)
-	if err != nil {
-		return nil, err
-	}
-	run, err := b.Build(g)
-	if err != nil {
-		return nil, err
-	}
-	total := &stats.Stats{}
-	for i, step := range run.Steps {
-		st, err := g.Launch(step.Kernel, opts)
-		if err != nil {
-			return nil, fmt.Errorf("%s: launch %d: %w", name, i, err)
-		}
-		cycles := total.Cycles + st.Cycles
-		total.Merge(st)
-		total.Cycles = cycles
-		if step.Host != nil {
-			if err := step.Host(g); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return &Result{Stats: total, Benchmark: name}, nil
+	return (&Runner{}).Run(context.Background(), name,
+		WithConfig(cfg), WithLaunchOpts(opts), WithValidation(false))
 }
 
 // EstimatePower applies the analytical power model to a finished run.
@@ -246,6 +394,11 @@ func EstimatePower(cfg Config, st *Stats) PowerReport {
 // Experiment results, re-exported for programmatic use; each has a
 // Table() renderer. See cmd/experiments for the CLI that prints them.
 type (
+	// Engine runs the figure harnesses on a worker pool; its Workers
+	// field plays the same role as Runner.Parallel. The zero value runs
+	// with GOMAXPROCS workers.
+	Engine = experiments.Engine
+
 	Fig1Result      = experiments.Fig1Result
 	Fig5Result      = experiments.Fig5Result
 	Fig8aResult     = experiments.Fig8aResult
@@ -293,27 +446,28 @@ type RetryResult struct {
 // faults vanish on the retry and the workload completes validated;
 // persistent faults exhaust the attempts, which is the signal to treat
 // the fault as permanent and re-route (see Diagnoser).
+//
+// Deprecated: use Runner.Run with WithFaults, WithStopOnError and
+// WithRetry; the returned Result carries Attempts, Recovered and
+// Detections directly.
 func RunBenchmarkWithRetry(name string, cfg Config, inj *Injector, maxAttempts int) (*RetryResult, error) {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
-	out := &RetryResult{}
-	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		out.Attempts = attempt
-		detections := 0
-		res, err := RunBenchmarkWithOpts(name, cfg, LaunchOpts{
-			Fault:       inj,
-			StopOnError: true,
-			OnError:     func(ErrorEvent) { detections++ },
-		})
-		out.Detections += detections
-		if err == nil && (res == nil || res.FaultsDetected == 0) {
-			out.Result = res
-			out.Recovered = attempt > 1
-			return out, nil
-		}
-		// Detected (or crashed): discard the attempt and retry.
+	detections := 0
+	res, err := (&Runner{}).Run(context.Background(), name,
+		WithConfig(cfg),
+		WithFaults(inj, func(ErrorEvent) { detections++ }),
+		WithStopOnError(),
+		WithRetry(maxAttempts),
+		WithValidation(false))
+	if err != nil {
+		return &RetryResult{Attempts: maxAttempts, GaveUp: true, Detections: detections}, err
 	}
-	out.GaveUp = true
-	return out, fmt.Errorf("warped: %s still failing after %d attempts: fault appears permanent", name, out.Attempts)
+	return &RetryResult{
+		Result:     res,
+		Attempts:   res.Attempts,
+		Recovered:  res.Recovered,
+		Detections: detections,
+	}, nil
 }
