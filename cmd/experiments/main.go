@@ -19,6 +19,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -26,6 +28,7 @@ import (
 
 	"warped/internal/experiments"
 	"warped/internal/kernels"
+	"warped/internal/metrics"
 	"warped/internal/stats"
 )
 
@@ -37,12 +40,15 @@ type figure struct {
 
 func main() {
 	var (
-		figID    = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, campaign, sampling, schedulers, latency); empty = all")
-		csv      = flag.Bool("csv", false, "emit CSV")
-		chart    = flag.Bool("chart", false, "render ASCII charts where available")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulator runs (results are identical at any value)")
-		progress = flag.Bool("progress", false, "report per-figure run completion on stderr")
-		lint     = flag.String("lint", "on", "statically verify the bundled kernels before running: on|off")
+		figID     = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, campaign, sampling, schedulers, latency); empty = all")
+		csv       = flag.Bool("csv", false, "emit CSV")
+		chart     = flag.Bool("chart", false, "render ASCII charts where available")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulator runs (results are identical at any value)")
+		progress  = flag.Bool("progress", false, "report per-figure run completion on stderr")
+		lint      = flag.String("lint", "on", "statically verify the bundled kernels before running: on|off")
+		metricsOn = flag.Bool("metrics", false, "print the campaign metrics snapshot to stderr after all figures (docs/OBSERVABILITY.md)")
+		metricsTo = flag.String("metrics-out", "", "write the campaign metrics snapshot as JSON Lines to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -58,7 +64,21 @@ func main() {
 		}
 	}
 
-	e := &experiments.Engine{Workers: *parallel}
+	var reg *metrics.Registry
+	if *metricsOn || *metricsTo != "" || *pprofAddr != "" {
+		reg = metrics.New()
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, metrics.Handler(reg)) }()
+	}
+
+	e := &experiments.Engine{Workers: *parallel, Metrics: reg}
 	if *progress {
 		e.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rexperiments: %d/%d runs", done, total)
@@ -128,6 +148,28 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *figID)
 		os.Exit(2)
+	}
+	// Metrics go to stderr / a file, never stdout: figure output stays
+	// byte-identical whether or not a registry is attached.
+	if reg != nil {
+		snap := reg.Snapshot()
+		if *metricsOn {
+			fmt.Fprintln(os.Stderr, "metrics:")
+			fmt.Fprint(os.Stderr, snap.String())
+		}
+		if *metricsTo != "" {
+			f, err := os.Create(*metricsTo)
+			if err == nil {
+				err = snap.WriteJSONL(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -metrics-out: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }
 

@@ -14,6 +14,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -23,6 +25,7 @@ import (
 	"warped/internal/core"
 	"warped/internal/experiments"
 	"warped/internal/fault"
+	"warped/internal/metrics"
 )
 
 func main() {
@@ -33,11 +36,28 @@ func main() {
 		seed      = flag.Int64("seed", 1, "campaign RNG seed")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for campaign trials (results are identical at any value)")
 		diagnose  = flag.Bool("diagnose", false, "plant one stuck-at fault and isolate the faulty lane")
+		metricsOn = flag.Bool("metrics", false, "print the campaign metrics snapshot to stderr (docs/OBSERVABILITY.md)")
+		metricsTo = flag.String("metrics-out", "", "write the campaign metrics snapshot as JSON Lines to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var reg *metrics.Registry
+	if *metricsOn || *metricsTo != "" || *pprofAddr != "" {
+		reg = metrics.New()
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultsim: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "faultsim: debug server on http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, metrics.Handler(reg)) }()
+	}
 
 	if *diagnose {
 		runDiagnose(*benchName, *seed)
@@ -56,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	e := &warped.Engine{Workers: *parallel}
+	e := &warped.Engine{Workers: *parallel, Metrics: reg}
 	var results []*warped.CampaignResult
 	for _, name := range names {
 		c, err := e.Campaign(ctx, name, *n, *seed)
@@ -67,6 +87,29 @@ func main() {
 		results = append(results, c)
 	}
 	fmt.Println(experiments.CampaignTable(results).String())
+
+	// Metrics go to stderr / a file, never stdout: campaign output stays
+	// byte-identical whether or not a registry is attached.
+	if reg != nil {
+		snap := reg.Snapshot()
+		if *metricsOn {
+			fmt.Fprintln(os.Stderr, "metrics:")
+			fmt.Fprint(os.Stderr, snap.String())
+		}
+		if *metricsTo != "" {
+			f, err := os.Create(*metricsTo)
+			if err == nil {
+				err = snap.WriteJSONL(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faultsim: -metrics-out: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 }
 
 // runDiagnose demonstrates the paper's §3.4 claim: Warped-DMR detects

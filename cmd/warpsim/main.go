@@ -15,6 +15,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -51,6 +53,10 @@ func main() {
 		noShuffle = flag.Bool("no-lane-shuffle", false, "disable lane shuffling on replays")
 		noDrain   = flag.Bool("no-idle-drain", false, "disable ReplayQ draining on idle units")
 		lintMode  = flag.String("lint", "on", "statically verify kernels before running: on|off")
+		traceFmt  = flag.String("trace-format", "csv", "trace file format: csv|chrome|jsonl")
+		metricsOn = flag.Bool("metrics", false, "print the metrics snapshot after the run (docs/OBSERVABILITY.md)")
+		metricsTo = flag.String("metrics-out", "", "write the metrics snapshot as JSON Lines to this file")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -111,8 +117,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := newRegistry(*metricsOn, *metricsTo, *pprofAddr)
+	serveDebug(reg, *pprofAddr)
+
 	if *kernPath != "" {
-		if err := runCustom(ctx, cfg, *kernPath, *grid, *block, *shared, *params, *traceOut, lint); err != nil {
+		if err := runCustom(ctx, cfg, *kernPath, *grid, *block, *shared, *params, *traceOut, *traceFmt, lint, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := emitMetrics(reg, *metricsOn, *metricsTo); err != nil {
 			fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -124,18 +137,72 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	res, err := (&warped.Runner{}).Run(ctx, *benchName, warped.WithConfig(cfg))
+	res, err := (&warped.Runner{Metrics: reg}).Run(ctx, *benchName, warped.WithConfig(cfg))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
 		os.Exit(1)
 	}
 	printResult(res, cfg)
+	if err := emitMetrics(reg, *metricsOn, *metricsTo); err != nil {
+		fmt.Fprintf(os.Stderr, "warpsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// newRegistry builds a metrics registry when any observability flag
+// asks for one; otherwise the run stays unmetered (nil registry).
+func newRegistry(print bool, out, pprofAddr string) *warped.Metrics {
+	if !print && out == "" && pprofAddr == "" {
+		return nil
+	}
+	return warped.NewMetrics()
+}
+
+// serveDebug mounts /debug/pprof, /debug/vars and /debug/metrics on
+// addr in the background. Failures to bind are fatal: asking for a
+// debug server and silently not getting one wastes a profiling session.
+func serveDebug(reg *warped.Metrics, addr string) {
+	if addr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warpsim: -pprof: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "warpsim: debug server on http://%s/debug/pprof/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, warped.MetricsHandler(reg)) }()
+}
+
+// emitMetrics renders the post-run snapshot: human-readable to stdout
+// with -metrics, JSON Lines to a file with -metrics-out.
+func emitMetrics(reg *warped.Metrics, print bool, out string) error {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	if print {
+		fmt.Println("\nmetrics:")
+		fmt.Print(snap.String())
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", out, err)
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // runCustom assembles and launches a user-provided kernel file. With
 // lint enabled, error-severity verifier findings abort the launch and
 // warnings print to stderr; -lint=off skips verification entirely.
-func runCustom(ctx context.Context, cfg warped.Config, path, grid, block string, shared int, paramList, traceOut string, lint bool) error {
+func runCustom(ctx context.Context, cfg warped.Config, path, grid, block string, shared int, paramList, traceOut, traceFmt string, lint bool, reg *warped.Metrics) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -175,18 +242,21 @@ func runCustom(ctx context.Context, cfg warped.Config, path, grid, block string,
 	if err != nil {
 		return err
 	}
-	opts := warped.LaunchOpts{}
+	opts := warped.LaunchOpts{Metrics: reg}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		w := trace.NewCSVWriter(f)
-		opts.Trace = w
+		sink, finish, err := traceWriter(f, traceFmt)
+		if err != nil {
+			return err
+		}
+		opts.Trace = sink
 		defer func() {
-			if w.Err != nil {
-				fmt.Fprintf(os.Stderr, "warpsim: trace write: %v\n", w.Err)
+			if err := finish(); err != nil {
+				fmt.Fprintf(os.Stderr, "warpsim: trace write: %v\n", err)
 			}
 		}()
 	}
@@ -204,6 +274,23 @@ func runCustom(ctx context.Context, cfg warped.Config, path, grid, block string,
 	}
 	printResult(&warped.Result{Stats: st, Benchmark: prog.Name + " (custom kernel, no host validation)"}, cfg)
 	return nil
+}
+
+// traceWriter builds the trace sink selected by -trace-format plus a
+// finish function reporting (and, for chrome, terminating) the output.
+func traceWriter(f *os.File, format string) (warped.TraceSink, func() error, error) {
+	switch strings.ToLower(format) {
+	case "csv":
+		w := trace.NewCSVWriter(f)
+		return w, func() error { return w.Err }, nil
+	case "chrome":
+		w := trace.NewChromeWriter(f)
+		return w, w.Close, nil
+	case "jsonl":
+		w := trace.NewJSONLWriter(f)
+		return w, w.Close, nil
+	}
+	return nil, nil, fmt.Errorf("unknown -trace-format %q (want csv, chrome or jsonl)", format)
 }
 
 func parseDims(s string) (int, int, error) {

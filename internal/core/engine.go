@@ -4,6 +4,7 @@ import (
 	"warped/internal/arch"
 	"warped/internal/exec"
 	"warped/internal/isa"
+	"warped/internal/metrics"
 	"warped/internal/simt"
 	"warped/internal/stats"
 )
@@ -57,6 +58,7 @@ type Engine struct {
 	table   *PriorityTable
 	perturb PerturbPhys
 	onError func(ErrorEvent)
+	met     *metrics.DMR // never nil; built from a nil registry by default
 
 	intra bool
 	inter bool
@@ -80,9 +82,23 @@ func NewEngine(cfg arch.Config, smID int, st *stats.Stats, perturb PerturbPhys, 
 		intra:   cfg.DMR == arch.DMRIntra || cfg.DMR == arch.DMRFull,
 		inter:   cfg.DMR == arch.DMRInter || cfg.DMR == arch.DMRFull,
 		dmtr:    cfg.DMR == arch.DMRTemporalAll,
+		met:     metrics.ForDMR(nil, cfg.WarpSize, cfg.ClusterSize),
 	}
 	return e
 }
+
+// SetMetrics points the engine at a pre-resolved DMR instrument set
+// (see internal/metrics.ForDMR). Passing nil restores the default
+// no-op set. Call before the first Issue.
+func (e *Engine) SetMetrics(m *metrics.DMR) {
+	if m == nil {
+		m = metrics.ForDMR(nil, e.cfg.WarpSize, e.cfg.ClusterSize)
+	}
+	e.met = m
+}
+
+// noteQueueDepth publishes the current ReplayQ occupancy.
+func (e *Engine) noteQueueDepth() { e.met.ReplayQDepth.Set(int64(len(e.q))) }
 
 // QueueLen returns the current ReplayQ occupancy.
 func (e *Engine) QueueLen() int { return len(e.q) }
@@ -110,6 +126,7 @@ func (e *Engine) IdleCycle(now int64) {
 		used[e.pending.Rec.Unit] = true
 		e.verify(*e.pending, now)
 		e.st.ReplayCoexec++
+		e.met.CoexecReplays.Inc()
 		e.pending = nil
 	}
 	e.drainIdleUnits(used, now)
@@ -132,8 +149,10 @@ func (e *Engine) drainIdleUnits(used [3]bool, now int64) {
 		used[u] = true
 		ent := e.q[i]
 		e.q = append(e.q[:i], e.q[i+1:]...)
+		e.noteQueueDepth()
 		e.verify(ent.info, now)
 		e.st.ReplayIdleDrain++
+		e.met.IdleDrainReplays.Inc()
 		if used[0] && used[1] && used[2] {
 			return
 		}
@@ -155,6 +174,7 @@ func (e *Engine) Issue(info IssueInfo) (stall int) {
 		if e.pending != nil {
 			e.verify(*e.pending, info.Cycle)
 			e.st.ReplayCoexec++
+			e.met.CoexecReplays.Inc()
 			e.pending = nil
 		}
 		return 0
@@ -222,6 +242,7 @@ func (e *Engine) resolvePending(curUnit isa.UnitClass, used *[3]bool, now int64)
 		used[pUnit] = true
 		e.verify(*p, now+1)
 		e.st.ReplayCoexec++
+		e.met.CoexecReplays.Inc()
 		return 0
 	}
 	// Same type: try to swap with a different-type ReplayQ entry.
@@ -233,15 +254,18 @@ func (e *Engine) resolvePending(curUnit isa.UnitClass, used *[3]bool, now int64)
 				e.q = append(e.q[:i], e.q[i+1:]...)
 				e.q = append(e.q, qEntry{info: *p})
 				e.st.ReplayEnq++
+				e.noteEnqueue()
 				used[u] = true
 				e.verify(ent.info, now+1)
 				e.st.ReplayCoexec++
+				e.met.CoexecReplays.Inc()
 				return 0
 			}
 		}
 		if len(e.q) < e.cfg.ReplayQSize {
 			e.q = append(e.q, qEntry{info: *p})
 			e.st.ReplayEnq++
+			e.noteEnqueue()
 			return 0
 		}
 	}
@@ -249,7 +273,16 @@ func (e *Engine) resolvePending(curUnit isa.UnitClass, used *[3]bool, now int64)
 	// pipeline stall, reusing operands still live in the pipeline.
 	e.verify(*p, now+1)
 	e.st.StallReplayQFull++
+	e.met.OverflowStalls.Inc()
 	return 1
+}
+
+// noteEnqueue publishes a ReplayQ enqueue: the occupancy gauge and the
+// occupancy-at-enqueue histogram, plus the running enqueue total.
+func (e *Engine) noteEnqueue() {
+	e.met.ReplayQEnqueued.Inc()
+	e.met.ReplayQDepthHist.Observe(int64(len(e.q)))
+	e.noteQueueDepth()
 }
 
 // verifyRAWProducers flushes ReplayQ entries whose destination register
@@ -276,12 +309,14 @@ func (e *Engine) verifyRAWProducers(info IssueInfo) (stall int) {
 		if hit {
 			e.verify(ent.info, info.Cycle)
 			e.st.StallRAWUnverif++
+			e.met.RAWFlushStalls.Inc()
 			stall++
 		} else {
 			kept = append(kept, ent)
 		}
 	}
 	e.q = kept
+	e.noteQueueDepth()
 	return stall
 }
 
@@ -293,14 +328,17 @@ func (e *Engine) Drain(at int64) (cycles int) {
 		cycles++
 		e.verify(*e.pending, at+int64(cycles))
 		e.st.ReplayCoexec++
+		e.met.CoexecReplays.Inc()
 		e.pending = nil
 	}
 	for _, ent := range e.q {
 		cycles++
 		e.verify(ent.info, at+int64(cycles))
 		e.st.ReplayIdleDrain++
+		e.met.IdleDrainReplays.Inc()
 	}
 	e.q = e.q[:0]
+	e.noteQueueDepth()
 	return cycles
 }
 
@@ -314,6 +352,17 @@ func (e *Engine) intraWarp(info IssueInfo) {
 	pairs, covered := e.table.PairWarp(info.Phys, e.cfg.WarpSize)
 	e.st.VerifiedIntra += int64(covered)
 	e.st.RedundantOps[rec.Unit] += int64(len(pairs))
+	e.met.IntraVerified.Add(int64(covered))
+	e.met.RFUPairings.Add(int64(len(pairs)))
+	e.met.RFUCoveredLanes.Add(int64(covered))
+	if missed := info.Phys.Count() - covered; missed > 0 {
+		e.met.RFUMissedLanes.Add(int64(missed))
+	}
+	for _, p := range pairs {
+		if c := p.Active / e.cfg.ClusterSize; c < len(e.met.ClusterPairings) {
+			e.met.ClusterPairings[c].Inc()
+		}
+	}
 	for _, p := range pairs {
 		thread := e.cfg.ThreadForLane(p.Active)
 		golden, ok := exec.Compute(rec.Instr, rec.SrcVals[0][thread], rec.SrcVals[1][thread], rec.SrcVals[2][thread])
@@ -326,6 +375,8 @@ func (e *Engine) intraWarp(info IssueInfo) {
 		}
 		if red != rec.Vals[thread] {
 			e.st.FaultsDetected++
+			e.met.Detections.Inc()
+			e.met.DetectionLatency.Observe(0) // spatial DMR verifies in the issue cycle
 			if e.onError != nil {
 				e.onError(ErrorEvent{
 					SM: e.smID, Cycle: info.Cycle, WarpGID: info.WarpGID, PC: rec.PC, Thread: thread,
@@ -348,6 +399,8 @@ func (e *Engine) verify(info IssueInfo, at int64) {
 	e.phase++
 	e.st.VerifiedInter += int64(rec.Executing.Count())
 	e.st.RedundantOps[rec.Unit] += int64(rec.Executing.Count())
+	e.met.InterVerified.Add(int64(rec.Executing.Count()))
+	e.met.VerifyLatency.Observe(at - info.Cycle)
 	for thread := 0; thread < 32; thread++ {
 		if !rec.Executing.Has(thread) {
 			continue
@@ -356,6 +409,9 @@ func (e *Engine) verify(info IssueInfo, at int64) {
 		verif := orig
 		if e.cfg.LaneShuffle {
 			verif = ShuffleLane(orig, e.cfg.ClusterSize, e.phase)
+		}
+		if verif < len(e.met.ShuffleLaneUsed) {
+			e.met.ShuffleLaneUsed[verif].Inc()
 		}
 		golden, ok := exec.Compute(rec.Instr, rec.SrcVals[0][thread], rec.SrcVals[1][thread], rec.SrcVals[2][thread])
 		if !ok {
@@ -367,6 +423,8 @@ func (e *Engine) verify(info IssueInfo, at int64) {
 		}
 		if red != rec.Vals[thread] {
 			e.st.FaultsDetected++
+			e.met.Detections.Inc()
+			e.met.DetectionLatency.Observe(at - info.Cycle)
 			if e.onError != nil {
 				e.onError(ErrorEvent{
 					SM: e.smID, Cycle: at, WarpGID: info.WarpGID, PC: rec.PC, Thread: thread,

@@ -13,6 +13,7 @@ import (
 
 	"warped/internal/isa"
 	"warped/internal/mem"
+	"warped/internal/metrics"
 	"warped/internal/simt"
 )
 
@@ -60,6 +61,11 @@ type Context struct {
 	Shared *mem.Shared
 	Params *mem.Params
 	Shadow bool
+
+	// Metrics, when non-nil, receives branch-behaviour and bank-conflict
+	// counts as instructions execute (see internal/metrics.ForExec).
+	// Nil costs one branch per executed branch/shared access.
+	Metrics *metrics.Exec
 }
 
 // Perturb is a fault-injection hook: given the thread slot (logical
@@ -288,12 +294,21 @@ func Step(ctx *Context, prog *isa.Program, w *simt.Warp, r *Regs,
 		switch {
 		case taken == active: // uniform taken (or unconditional)
 			w.Jump(in.Target)
+			if ctx.Metrics != nil {
+				ctx.Metrics.UniformBranches.Inc()
+			}
 		case taken == 0: // uniform not-taken
 			w.Advance()
+			if ctx.Metrics != nil {
+				ctx.Metrics.UniformBranches.Inc()
+			}
 		default:
 			rec.Divergent = true
 			if err := w.Diverge(taken, active, in.Target, pc+1, in.Reconv); err != nil {
 				return nil, fmt.Errorf("exec: kernel %s pc %d: %w", prog.Name, pc, err)
+			}
+			if ctx.Metrics != nil {
+				ctx.Metrics.DivergentBranches.Inc()
 			}
 		}
 		return rec, nil
@@ -427,6 +442,9 @@ func stepMem(ctx *Context, in *isa.Instr, w *simt.Warp, r *Regs, rec *Record,
 	case isa.SpaceShared:
 		rec.BankSer = mem.BankConflictDegree(rec.Addrs[:], uint32(executing), banks)
 		rec.Segments = 1
+		if ctx.Metrics != nil && rec.BankSer > 1 {
+			ctx.Metrics.SharedBankExtra.Add(int64(rec.BankSer - 1))
+		}
 	default:
 		rec.Segments = mem.CoalesceSegments(rec.Addrs[:], uint32(executing), segBytes)
 		rec.BankSer = 1

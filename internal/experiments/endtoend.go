@@ -210,7 +210,7 @@ func (e *Engine) Campaign(ctx context.Context, benchName string, n int, seed int
 		}
 		var o campaignOutcome
 		for _, step := range run.Steps {
-			st, err := g.LaunchContext(ctx, step.Kernel, sim.LaunchOpts{Fault: inj})
+			st, err := g.LaunchContext(ctx, step.Kernel, sim.LaunchOpts{Fault: inj, Metrics: e.Metrics})
 			if err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					return campaignOutcome{}, err // cancelled, not a DUE

@@ -5,6 +5,7 @@ import (
 
 	"warped/internal/arch"
 	"warped/internal/kernels"
+	"warped/internal/metrics"
 	"warped/internal/runner"
 	"warped/internal/sim"
 	"warped/internal/stats"
@@ -24,11 +25,19 @@ type Engine struct {
 	// Progress, when non-nil, is called after each completed run with
 	// (done, total) counts for the current grid.
 	Progress func(done, total int)
+
+	// Metrics, when non-nil, receives operational telemetry from every
+	// run of the campaign: worker-pool utilization and task latency from
+	// internal/runner plus the simulator/DMR counters of each launch
+	// (see docs/OBSERVABILITY.md). Attaching a registry never changes
+	// the figure tables — those are derived from the deterministic
+	// stats, not from the registry.
+	Metrics *metrics.Registry
 }
 
 // pool translates the engine configuration for internal/runner.
 func (e *Engine) pool() runner.Options {
-	return runner.Options{Workers: e.Workers, OnProgress: e.Progress}
+	return runner.Options{Workers: e.Workers, OnProgress: e.Progress, Metrics: e.Metrics}
 }
 
 // defaultEngine backs the package-level Run* wrappers.
@@ -42,6 +51,7 @@ var defaultEngine = &Engine{}
 func (e *Engine) runGrid(ctx context.Context, cfgs []arch.Config, opts sim.LaunchOpts) (names []string, res [][]*stats.Stats, err error) {
 	bs := kernels.All()
 	nb := len(bs)
+	opts.Metrics = e.Metrics
 	flat, err := runner.Map(ctx, e.pool(), len(cfgs)*nb, func(ctx context.Context, i int) (*stats.Stats, error) {
 		cfg, b := cfgs[i/nb], bs[i%nb]
 		g, err := sim.New(cfg, 0)

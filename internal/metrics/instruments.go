@@ -1,0 +1,202 @@
+package metrics
+
+import "fmt"
+
+// Bucket bounds shared by the instrument sets below. They are part of
+// the observability contract (docs/OBSERVABILITY.md): changing them
+// changes the shape of every exported histogram.
+var (
+	// ReplayQDepthBounds buckets ReplayQ occupancy observed at each
+	// enqueue. The paper's recommended queue holds 10 entries, so the
+	// bounds straddle that operating point.
+	ReplayQDepthBounds = []int64{0, 1, 2, 4, 6, 8, 10, 12, 16, 24}
+
+	// LatencyCycleBounds buckets cycle-denominated latencies
+	// (verification lag, detection latency).
+	LatencyCycleBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+	// StackDepthBounds buckets per-warp peak reconvergence-stack depth.
+	StackDepthBounds = []int64{1, 2, 3, 4, 6, 8, 12, 16}
+
+	// LatencyMSBounds buckets wall-clock latencies in milliseconds
+	// (runner task and whole-workload run latency).
+	LatencyMSBounds = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+)
+
+// Sim is the pre-resolved instrument set of the timing simulator (one
+// per launch; shared by all SMs of the launch). A Sim built from a nil
+// registry has nil instruments throughout, so every bump no-ops.
+type Sim struct {
+	// IssueCycles counts SM-cycles in which at least one instruction
+	// issued; IdleCycles counts SM-cycles in which nothing was issuable;
+	// StallCycles counts SM-cycles swallowed by DMR-induced stalls.
+	IssueCycles *Counter
+	IdleCycles  *Counter
+	StallCycles *Counter
+
+	// WarpInstrs counts issued warp instructions (primary executions
+	// only, like stats.Stats.WarpInstrs).
+	WarpInstrs *Counter
+
+	// StackDepth histograms each warp's peak reconvergence-stack depth,
+	// observed when the warp finishes.
+	StackDepth *Histogram
+
+	// DivergeEvents counts warp branch divergences (path splits),
+	// observed when the warp finishes.
+	DivergeEvents *Counter
+}
+
+// ForSim resolves the simulator instrument set against r (nil-safe).
+func ForSim(r *Registry) *Sim {
+	return &Sim{
+		IssueCycles:   r.Counter("sim.issue_cycles_total"),
+		IdleCycles:    r.Counter("sim.idle_issue_cycles_total"),
+		StallCycles:   r.Counter("sim.dmr_stall_cycles_total"),
+		WarpInstrs:    r.Counter("sim.warp_instrs_total"),
+		StackDepth:    r.Histogram("simt.reconv_stack_depth", StackDepthBounds),
+		DivergeEvents: r.Counter("simt.diverge_events_total"),
+	}
+}
+
+// Exec is the pre-resolved instrument set of the functional executor,
+// carried on exec.Context. A zero Exec (all-nil fields) is valid and
+// no-ops.
+type Exec struct {
+	// DivergentBranches and UniformBranches classify executed BRA
+	// instructions; SharedBankExtra accumulates the extra serialization
+	// cycles of shared-memory bank conflicts (degree-1 accesses add 0).
+	DivergentBranches *Counter
+	UniformBranches   *Counter
+	SharedBankExtra   *Counter
+}
+
+// ForExec resolves the executor instrument set against r (nil-safe).
+func ForExec(r *Registry) *Exec {
+	return &Exec{
+		DivergentBranches: r.Counter("exec.divergent_branches_total"),
+		UniformBranches:   r.Counter("exec.uniform_branches_total"),
+		SharedBankExtra:   r.Counter("exec.shared_bank_extra_cycles_total"),
+	}
+}
+
+// DMR is the pre-resolved instrument set of the Warped-DMR engine.
+// Per-cluster and per-lane counter slices are always allocated (with
+// nil entries when the registry is nil), so index-then-bump is safe
+// without length checks.
+type DMR struct {
+	// ReplayQ occupancy: Depth is the live gauge (with high-water mark),
+	// DepthHist the distribution observed at each enqueue, Enqueued the
+	// total entries buffered, OverflowStalls the issue-stall cycles
+	// charged because the queue was full, RAWFlushStalls the stall
+	// cycles charged to verify a RAW-depended entry early.
+	ReplayQDepth     *Gauge
+	ReplayQDepthHist *Histogram
+	ReplayQEnqueued  *Counter
+	OverflowStalls   *Counter
+	RAWFlushStalls   *Counter
+
+	// Replay scheduling outcomes: replays co-executed for free on a
+	// unit idled by an instruction-type switch, and replays drained on
+	// idle issue cycles (or at end-of-kernel drain).
+	CoexecReplays    *Counter
+	IdleDrainReplays *Counter
+
+	// Verification volume, in thread-instructions, split by mechanism.
+	IntraVerified *Counter
+	InterVerified *Counter
+
+	// RFU pairing: Pairings counts idle->active lane assignments,
+	// CoveredLanes counts distinct active lanes that received at least
+	// one verifier, MissedLanes counts active lanes of partial warps
+	// that no idle lane covered (missed intra-warp opportunities).
+	// ClusterPairings attributes pairings to the RFU cluster (by
+	// cluster index within the warp) that performed them.
+	RFUPairings     *Counter
+	RFUCoveredLanes *Counter
+	RFUMissedLanes  *Counter
+	ClusterPairings []*Counter
+
+	// Lane-shuffle coverage: per-physical-lane counts of redundant
+	// executions performed by that lane during temporal replays.
+	ShuffleLaneUsed []*Counter
+
+	// Latency distributions: VerifyLatency is issue-to-verification lag
+	// for every temporal replay; DetectionLatency is issue-to-detection
+	// lag for flagged mismatches only. Detections counts mismatches.
+	VerifyLatency    *Histogram
+	DetectionLatency *Histogram
+	Detections       *Counter
+}
+
+// ForDMR resolves the DMR instrument set against r (nil-safe) for a
+// machine with the given warp width and SIMT cluster size.
+func ForDMR(r *Registry, warpSize, clusterSize int) *DMR {
+	if warpSize <= 0 {
+		warpSize = 32
+	}
+	if clusterSize <= 0 {
+		clusterSize = warpSize
+	}
+	clusters := (warpSize + clusterSize - 1) / clusterSize
+	m := &DMR{
+		ReplayQDepth:     r.Gauge("dmr.replayq.depth"),
+		ReplayQDepthHist: r.Histogram("dmr.replayq.depth_hist", ReplayQDepthBounds),
+		ReplayQEnqueued:  r.Counter("dmr.replayq.enqueued_total"),
+		OverflowStalls:   r.Counter("dmr.replayq.overflow_stall_cycles_total"),
+		RAWFlushStalls:   r.Counter("dmr.replayq.raw_flush_stall_cycles_total"),
+		CoexecReplays:    r.Counter("dmr.replay.coexec_total"),
+		IdleDrainReplays: r.Counter("dmr.replay.idle_drain_total"),
+		IntraVerified:    r.Counter("dmr.verified.intra_thread_instrs_total"),
+		InterVerified:    r.Counter("dmr.verified.inter_thread_instrs_total"),
+		RFUPairings:      r.Counter("dmr.rfu.pairings_total"),
+		RFUCoveredLanes:  r.Counter("dmr.rfu.covered_lanes_total"),
+		RFUMissedLanes:   r.Counter("dmr.rfu.missed_lanes_total"),
+		ClusterPairings:  make([]*Counter, clusters),
+		ShuffleLaneUsed:  make([]*Counter, warpSize),
+		VerifyLatency:    r.Histogram("dmr.verify_latency_cycles", LatencyCycleBounds),
+		DetectionLatency: r.Histogram("dmr.detection_latency_cycles", LatencyCycleBounds),
+		Detections:       r.Counter("dmr.detections_total"),
+	}
+	for i := range m.ClusterPairings {
+		m.ClusterPairings[i] = r.Counter(fmt.Sprintf("dmr.rfu.cluster.%02d.pairings_total", i))
+	}
+	for i := range m.ShuffleLaneUsed {
+		m.ShuffleLaneUsed[i] = r.Counter(fmt.Sprintf("dmr.shuffle.lane.%02d.replays_total", i))
+	}
+	return m
+}
+
+// Run is the pre-resolved instrument set of the run-orchestration
+// worker pool (internal/runner). A Run built from a nil registry
+// no-ops throughout.
+type Run struct {
+	// Task lifecycle counters. TasksFailed includes panicking tasks;
+	// TaskPanics counts the panicking subset.
+	TasksStarted   *Counter
+	TasksCompleted *Counter
+	TasksFailed    *Counter
+	TaskPanics     *Counter
+
+	// WorkersBusy tracks how many workers are executing a task right
+	// now; its high-water mark is the peak pool utilization.
+	WorkersBusy *Gauge
+
+	// TaskLatencyMS histograms per-task wall-clock latency. Wall-clock
+	// values vary run to run: they are operational data, not part of
+	// the deterministic simulation output.
+	TaskLatencyMS *Histogram
+}
+
+// ForRunner resolves the worker-pool instrument set against r
+// (nil-safe).
+func ForRunner(r *Registry) *Run {
+	return &Run{
+		TasksStarted:   r.Counter("runner.tasks_started_total"),
+		TasksCompleted: r.Counter("runner.tasks_completed_total"),
+		TasksFailed:    r.Counter("runner.tasks_failed_total"),
+		TaskPanics:     r.Counter("runner.task_panics_total"),
+		WorkersBusy:    r.Gauge("runner.workers_busy"),
+		TaskLatencyMS:  r.Histogram("runner.task_latency_ms", LatencyMSBounds),
+	}
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns an http.Handler exposing the standard Go debug
+// surface plus the registry:
+//
+//	/debug/pprof/...   net/http/pprof profiles (heap, cpu, goroutine, …)
+//	/debug/vars        expvar JSON (includes registries passed to Publish)
+//	/debug/metrics     the registry snapshot as JSON Lines
+//
+// The handler serves live data: every request re-snapshots r, so a
+// long campaign can be watched while it runs. The three CLIs mount
+// this handler when given the -pprof flag.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = r.Snapshot().WriteJSONL(w)
+	})
+	return mux
+}
+
+var publishMu sync.Mutex
+var published = map[string]bool{}
+
+// Publish exposes the registry under name in the process-global expvar
+// map, so GET /debug/vars includes a live snapshot of it. Unlike
+// expvar.Publish, calling Publish twice with the same name is safe:
+// the second call is ignored (expvar registrations are process-global
+// and cannot be replaced).
+func Publish(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if published[name] {
+		return
+	}
+	published[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

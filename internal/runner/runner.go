@@ -26,6 +26,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"warped/internal/metrics"
 )
 
 // Options tunes one Map invocation.
@@ -45,6 +48,13 @@ type Options struct {
 	// submission index; the per-task results of successful tasks are
 	// valid either way.
 	ContinueOnError bool
+
+	// Metrics, when non-nil, receives pool telemetry: task lifecycle
+	// counters, the workers-busy gauge (whose high-water mark is the peak
+	// pool utilization), and a wall-clock task-latency histogram. Latency
+	// values vary run to run — they are operational data, never part of
+	// the deterministic simulation output.
+	Metrics *metrics.Registry
 }
 
 func (o Options) workers(n int) int {
@@ -97,6 +107,7 @@ func Map[T any](ctx context.Context, opt Options, n int, fn func(ctx context.Con
 	var next atomic.Int64
 	var mu sync.Mutex // serializes OnProgress
 	completed := 0
+	met := metrics.ForRunner(opt.Metrics)
 
 	var wg sync.WaitGroup
 	for w := opt.workers(n); w > 0; w-- {
@@ -114,7 +125,21 @@ func Map[T any](ctx context.Context, opt Options, n int, fn func(ctx context.Con
 					errs[i] = err
 					continue
 				}
+				met.TasksStarted.Inc()
+				met.WorkersBusy.Add(1)
+				start := time.Now()
 				errs[i] = runOne(ctx, i, fn, &results[i])
+				met.TaskLatencyMS.Observe(time.Since(start).Milliseconds())
+				met.WorkersBusy.Add(-1)
+				if errs[i] == nil {
+					met.TasksCompleted.Inc()
+				} else {
+					met.TasksFailed.Inc()
+					var pe *PanicError
+					if errors.As(errs[i], &pe) {
+						met.TaskPanics.Inc()
+					}
+				}
 				if errs[i] != nil && !opt.ContinueOnError {
 					cancel()
 				}

@@ -10,6 +10,7 @@ import (
 	"warped/internal/core"
 	"warped/internal/isa"
 	"warped/internal/mem"
+	"warped/internal/metrics"
 	"warped/internal/stats"
 	"warped/internal/trace"
 )
@@ -86,6 +87,13 @@ type LaunchOpts struct {
 
 	// Trace receives one event per issued warp instruction (nil = off).
 	Trace trace.Sink
+
+	// Metrics, when non-nil, receives the launch's operational counters
+	// (see docs/OBSERVABILITY.md for the metric contract). The registry
+	// is safe to share across concurrent launches: counters are atomic
+	// and accumulate across everything wired to it. A nil registry costs
+	// one predictable branch per bump site.
+	Metrics *metrics.Registry
 }
 
 // GPU is the whole simulated chip: global memory plus NumSMs SMs.
@@ -187,9 +195,18 @@ func (g *GPU) LaunchContext(ctx context.Context, k *Kernel, opts LaunchOpts) (*s
 			}
 		}
 	}
+	// Resolve instrument sets once per launch; all SMs of the launch
+	// share them (bumps are atomic). With opts.Metrics nil these are
+	// all-nil no-op sets, so the hot path pays only the nil branch.
+	simMet := metrics.ForSim(opts.Metrics)
+	execMet := metrics.ForExec(opts.Metrics)
+	dmrMet := metrics.ForDMR(opts.Metrics, g.Cfg.WarpSize, g.Cfg.ClusterSize)
 	for i := range sms {
 		perSM[i] = &stats.Stats{}
 		sms[i] = newSM(i, g, perSM[i], opts.Fault, onError)
+		sms[i].met = simMet
+		sms[i].emet = execMet
+		sms[i].engine.SetMetrics(dmrMet)
 	}
 	if opts.TrackRAW {
 		// Paper Fig. 8b tracks warp 1 ("thread 32"), falling back to

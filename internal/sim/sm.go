@@ -14,6 +14,7 @@ import (
 	"warped/internal/exec"
 	"warped/internal/isa"
 	"warped/internal/mem"
+	"warped/internal/metrics"
 	"warped/internal/simt"
 	"warped/internal/stats"
 	"warped/internal/trace"
@@ -68,10 +69,17 @@ type sm struct {
 	lastBusy  int64
 	l1        *cache.Cache // per-SM L1 data cache (nil when off)
 	err       error
+
+	met  *metrics.Sim  // never nil; shared across the launch's SMs
+	emet *metrics.Exec // never nil; carried on every exec.Context
 }
 
 func newSM(id int, g *GPU, st *stats.Stats, fault FaultHook, onError func(core.ErrorEvent)) *sm {
-	s := &sm{id: id, cfg: g.Cfg, gpu: g, st: st, greedy: [2]int{-1, -1}}
+	s := &sm{
+		id: id, cfg: g.Cfg, gpu: g, st: st, greedy: [2]int{-1, -1},
+		met:  metrics.ForSim(nil),
+		emet: metrics.ForExec(nil),
+	}
 	if g.Cfg.ModelCaches {
 		s.l1 = cache.New(g.Cfg.L1)
 	}
@@ -393,6 +401,7 @@ func (s *sm) tick(k *Kernel, now int64) bool {
 	}
 	if s.stall > 0 {
 		s.stall--
+		s.met.StallCycles.Inc()
 		return busy
 	}
 	issued := 0
@@ -408,7 +417,10 @@ func (s *sm) tick(k *Kernel, now int64) bool {
 	if issued == 0 {
 		// Nothing issuable: the execution units are idle this cycle.
 		s.st.IdleIssueSlots++
+		s.met.IdleCycles.Inc()
 		s.engine.IdleCycle(now)
+	} else {
+		s.met.IssueCycles.Inc()
 	}
 	return busy
 }
@@ -462,7 +474,7 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 			return v
 		}
 	}
-	ctx := &exec.Context{Global: s.gpu.Mem, Shared: wc.block.shared, Params: k.Params, Shadow: wc.block.shadow}
+	ctx := &exec.Context{Global: s.gpu.Mem, Shared: wc.block.shared, Params: k.Params, Shadow: wc.block.shadow, Metrics: s.emet}
 	rec, err := exec.Step(ctx, k.Prog, wc.warp, wc.regs, s.cfg.CoalesceBytes, s.cfg.NumSharedBanks, perturb)
 	if err != nil {
 		s.err = fmt.Errorf("sm%d block %d warp %d: %w", s.id, wc.block.id, wc.warp.ID, err)
@@ -481,6 +493,7 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 
 	// --- statistics taps ---
 	s.st.WarpInstrs++
+	s.met.WarpInstrs.Inc()
 	nExec := rec.Executing.Count()
 	s.st.ThreadInstrs += int64(nExec)
 	if rec.Unit != isa.UnitCTRL {
@@ -588,8 +601,13 @@ func (s *sm) maybeReleaseBarrier(b *blockCtx) {
 	b.atBarrier = 0
 }
 
-// retire removes a finished block and its warps from the SM.
+// retire removes a finished block and its warps from the SM, rolling
+// each warp's lifetime control-flow tallies into the launch metrics.
 func (s *sm) retire(b *blockCtx) {
+	for _, wc := range b.warps {
+		s.met.StackDepth.Observe(int64(wc.warp.MaxStackDepth()))
+		s.met.DivergeEvents.Add(wc.warp.Diverges())
+	}
 	kept := s.blocks[:0]
 	for _, x := range s.blocks {
 		if x != b {

@@ -44,11 +44,14 @@ type Warp struct {
 	exited    Mask // lanes that executed EXIT
 	width     int  // lanes in this warp (< 32 for the tail warp)
 	AtBarrier bool
+
+	diverges int64 // path splits taken by this warp
+	maxDepth int   // peak reconvergence-stack depth
 }
 
 // NewWarp creates a warp of `width` live lanes starting at PC 0.
 func NewWarp(id, blockID, width int) *Warp {
-	w := &Warp{ID: id, BlockID: blockID, width: width}
+	w := &Warp{ID: id, BlockID: blockID, width: width, maxDepth: 1}
 	w.stack = append(w.stack, frame{pc: 0, rpc: NoReconv, mask: FullMask(width)})
 	return w
 }
@@ -72,6 +75,16 @@ func (w *Warp) ExitedMask() Mask { return w.exited }
 
 // StackDepth returns the current reconvergence stack depth.
 func (w *Warp) StackDepth() int { return len(w.stack) }
+
+// MaxStackDepth returns the deepest the reconvergence stack has been
+// over the warp's lifetime (1 for a warp that never diverged). The
+// observability layer rolls this into the simt.reconv_stack_depth
+// histogram when the warp finishes.
+func (w *Warp) MaxStackDepth() int { return w.maxDepth }
+
+// Diverges returns how many divergent branches (path splits) the warp
+// has taken over its lifetime.
+func (w *Warp) Diverges() int64 { return w.diverges }
 
 func (w *Warp) top() *frame {
 	if len(w.stack) == 0 {
@@ -112,6 +125,10 @@ func (w *Warp) Diverge(takenMask Mask, executing Mask, target, fallthrough_, rec
 		frame{pc: fallthrough_, rpc: reconv, mask: notTaken},
 		frame{pc: target, rpc: reconv, mask: takenMask},
 	)
+	w.diverges++
+	if len(w.stack) > w.maxDepth {
+		w.maxDepth = len(w.stack)
+	}
 	w.settle()
 	return nil
 }

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// JSONLWriter streams events as JSON Lines: one self-describing object
+// per issued instruction, keys in fixed order so output is byte-stable
+// for a deterministic simulation. Check Err (or call Close) after the
+// run; Emit itself never fails loudly, matching the Sink contract.
+type JSONLWriter struct {
+	w   io.Writer
+	Err error // first write error, if any
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return &JSONLWriter{w: w} }
+
+// Emit writes one JSON line.
+func (j *JSONLWriter) Emit(e Event) {
+	if j.Err != nil {
+		return
+	}
+	_, err := fmt.Fprintf(j.w,
+		`{"cycle":%d,"sm":%d,"block":%d,"warp":%d,"gid":%d,"pc":%d,"op":%q,"unit":%q,"active":%d,"divergent":%t,"stores":%t}`+"\n",
+		e.Cycle, e.SM, e.BlockID, e.WarpID, e.WarpGID, e.PC, e.Op.String(), e.Unit.String(),
+		e.Executing.Count(), e.Divergent, e.Stores)
+	if err != nil {
+		j.Err = err
+	}
+}
+
+// Close reports the first write error (JSONL needs no trailer).
+func (j *JSONLWriter) Close() error { return j.Err }
+
+// ChromeWriter streams events in the Chrome trace-event JSON format, so
+// a run can be opened in chrome://tracing or https://ui.perfetto.dev:
+// each issued warp instruction becomes a "complete" ("ph":"X") slice
+// one cycle long, with the SM as the process (pid) and the warp (by
+// SM-unique gid) as the thread (tid). Process/thread name metadata is
+// emitted the first time each SM or warp appears, which is a fixed
+// order for a deterministic simulation, so output is byte-stable.
+//
+// Close must be called to terminate the JSON array; an unclosed file is
+// not valid JSON (chrome://tracing tolerates it, JSON parsers do not).
+type ChromeWriter struct {
+	w        io.Writer
+	wrote    bool
+	seenSM   map[int]bool
+	seenWarp map[int]bool // keyed by SM-unique warp gid
+	Err      error        // first write error, if any
+}
+
+// NewChromeWriter wraps w.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	return &ChromeWriter{w: w, seenSM: make(map[int]bool), seenWarp: make(map[int]bool)}
+}
+
+func (c *ChromeWriter) record(format string, a ...any) {
+	if c.Err != nil {
+		return
+	}
+	sep := ",\n"
+	if !c.wrote {
+		c.wrote = true
+		sep = "[\n"
+	}
+	if _, err := io.WriteString(c.w, sep); err != nil {
+		c.Err = err
+		return
+	}
+	if _, err := fmt.Fprintf(c.w, format, a...); err != nil {
+		c.Err = err
+	}
+}
+
+// Emit writes one trace slice (preceded, on first sight of its SM or
+// warp, by the naming metadata events).
+func (c *ChromeWriter) Emit(e Event) {
+	if c.Err != nil {
+		return
+	}
+	if !c.seenSM[e.SM] {
+		c.seenSM[e.SM] = true
+		c.record(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"SM %d"}}`, e.SM, e.SM)
+	}
+	if !c.seenWarp[e.WarpGID] {
+		c.seenWarp[e.WarpGID] = true
+		c.record(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"block %d warp %d"}}`,
+			e.SM, e.WarpGID, e.BlockID, e.WarpID)
+	}
+	c.record(`{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":1,"pid":%d,"tid":%d,"args":{"pc":%d,"active":%d,"divergent":%t,"stores":%t}}`,
+		e.Op.String(), e.Unit.String(), e.Cycle, e.SM, e.WarpGID,
+		e.PC, e.Executing.Count(), e.Divergent, e.Stores)
+}
+
+// Close terminates the JSON array and reports the first write error.
+func (c *ChromeWriter) Close() error {
+	if c.Err != nil {
+		return c.Err
+	}
+	if !c.wrote {
+		// No events: still produce a valid (empty) trace.
+		if _, err := io.WriteString(c.w, "[]\n"); err != nil {
+			c.Err = err
+		}
+		return c.Err
+	}
+	if _, err := io.WriteString(c.w, "\n]\n"); err != nil {
+		c.Err = err
+	}
+	return c.Err
+}

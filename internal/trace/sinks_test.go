@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"warped/internal/isa"
+	"warped/internal/simt"
+)
+
+// TestEventStringFlags pins the flag-suffix rendering for all four
+// combinations: a single space-joined suffix, no trailing or doubled
+// separators.
+func TestEventStringFlags(t *testing.T) {
+	cases := []struct {
+		div, st bool
+		suffix  string
+	}{
+		{false, false, ""},
+		{true, false, " DIV"},
+		{false, true, " ST"},
+		{true, true, " DIV ST"},
+	}
+	for _, tc := range cases {
+		e := Event{Cycle: 1, Op: isa.OpIADD, Unit: isa.UnitSP,
+			Executing: simt.FullMask(32), Divergent: tc.div, Stores: tc.st}
+		s := e.String()
+		if !strings.HasSuffix(s, "act=32"+tc.suffix) {
+			t.Errorf("div=%v st=%v: got %q, want suffix %q", tc.div, tc.st, s, "act=32"+tc.suffix)
+		}
+		if strings.Contains(s, "  DIV") || strings.Contains(s, "  ST") || strings.HasSuffix(s, " ") {
+			t.Errorf("div=%v st=%v: malformed separators in %q", tc.div, tc.st, s)
+		}
+	}
+}
+
+func TestJSONLWriter(t *testing.T) {
+	var sb strings.Builder
+	w := NewJSONLWriter(&sb)
+	w.Emit(ev(5, 7))
+	w.Emit(Event{Cycle: 6, SM: 1, WarpGID: 3, Op: isa.OpST, Unit: isa.UnitLDST, Stores: true})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines, got %d:\n%s", len(lines), sb.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatalf("line 1 not JSON: %v (%q)", err, lines[0])
+	}
+	if m["cycle"] != float64(5) || m["pc"] != float64(7) || m["op"] != "iadd" || m["active"] != float64(32) {
+		t.Errorf("line 1 fields wrong: %v", m)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if m["stores"] != true || m["unit"] != "LDST" || m["sm"] != float64(1) || m["gid"] != float64(3) {
+		t.Errorf("line 2 fields wrong: %v", m)
+	}
+}
+
+// TestChromeWriter checks that the output is a valid JSON array whose
+// metadata names every SM/warp once and whose slices carry the event
+// payload.
+func TestChromeWriter(t *testing.T) {
+	var sb strings.Builder
+	w := NewChromeWriter(&sb)
+	w.Emit(Event{Cycle: 1, SM: 0, WarpGID: 1, BlockID: 0, WarpID: 0,
+		Op: isa.OpIADD, Unit: isa.UnitSP, Executing: simt.FullMask(32)})
+	w.Emit(Event{Cycle: 2, SM: 0, WarpGID: 1, BlockID: 0, WarpID: 0,
+		Op: isa.OpLD, Unit: isa.UnitLDST})
+	w.Emit(Event{Cycle: 2, SM: 1, WarpGID: 2, BlockID: 1, WarpID: 0,
+		Op: isa.OpFMUL, Unit: isa.UnitSP})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &records); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v\n%s", err, sb.String())
+	}
+	// 3 events + 2 process_name + 2 thread_name metadata records.
+	if len(records) != 7 {
+		t.Fatalf("expected 7 records, got %d", len(records))
+	}
+	var meta, slices int
+	for _, r := range records {
+		switch r["ph"] {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			if r["dur"] != float64(1) || r["args"] == nil {
+				t.Errorf("malformed slice: %v", r)
+			}
+		default:
+			t.Errorf("unexpected phase in %v", r)
+		}
+	}
+	if meta != 4 || slices != 3 {
+		t.Errorf("got %d metadata + %d slices, want 4 + 3", meta, slices)
+	}
+
+	// Byte-stability: the same event sequence renders identically.
+	var sb2 strings.Builder
+	w2 := NewChromeWriter(&sb2)
+	w2.Emit(Event{Cycle: 1, SM: 0, WarpGID: 1, BlockID: 0, WarpID: 0,
+		Op: isa.OpIADD, Unit: isa.UnitSP, Executing: simt.FullMask(32)})
+	w2.Emit(Event{Cycle: 2, SM: 0, WarpGID: 1, BlockID: 0, WarpID: 0,
+		Op: isa.OpLD, Unit: isa.UnitLDST})
+	w2.Emit(Event{Cycle: 2, SM: 1, WarpGID: 2, BlockID: 1, WarpID: 0,
+		Op: isa.OpFMUL, Unit: isa.UnitSP})
+	w2.Close()
+	if sb.String() != sb2.String() {
+		t.Error("chrome trace output is not byte-stable for identical event sequences")
+	}
+}
+
+// TestChromeWriterEmpty checks that a trace with no events still closes
+// to valid JSON.
+func TestChromeWriterEmpty(t *testing.T) {
+	var sb strings.Builder
+	w := NewChromeWriter(&sb)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var records []any
+	if err := json.Unmarshal([]byte(sb.String()), &records); err != nil || len(records) != 0 {
+		t.Fatalf("empty trace should be []: %q (%v)", sb.String(), err)
+	}
+}

@@ -31,17 +31,23 @@ type Event struct {
 	Stores    bool
 }
 
-// String renders an event as a one-line log record.
+// String renders an event as a one-line log record. Flags are rendered
+// as a single space-joined suffix (" DIV", " ST", or " DIV ST") so that
+// records stay grep-able regardless of which flag combination is set.
 func (e Event) String() string {
-	flags := ""
+	var flags []string
 	if e.Divergent {
-		flags += " DIV"
+		flags = append(flags, "DIV")
 	}
 	if e.Stores {
-		flags += " ST"
+		flags = append(flags, "ST")
+	}
+	suffix := ""
+	if len(flags) > 0 {
+		suffix = " " + strings.Join(flags, " ")
 	}
 	return fmt.Sprintf("cyc=%-8d sm=%-2d blk=%-3d w=%-2d pc=%-4d %-8s %-4s act=%2d%s",
-		e.Cycle, e.SM, e.BlockID, e.WarpID, e.PC, e.Op, e.Unit, e.Executing.Count(), flags)
+		e.Cycle, e.SM, e.BlockID, e.WarpID, e.PC, e.Op, e.Unit, e.Executing.Count(), suffix)
 }
 
 // Sink consumes trace events. Implementations must be cheap: Emit is

@@ -1,0 +1,128 @@
+// Command docscheck keeps the documentation honest in CI. It has two
+// modes:
+//
+//	docscheck README.md docs/*.md     # check markdown links and code refs
+//	docscheck -jsonl metrics.jsonl    # validate a JSON Lines file
+//
+// In markdown mode every inline link target that is not an external
+// URL or a pure in-page anchor must resolve to an existing file or
+// directory, relative to the markdown file that references it.
+// Fragments are stripped before the existence check. Exit status is
+// non-zero if any link is broken, with one diagnostic per offender.
+//
+// In -jsonl mode every non-empty line must parse as a JSON object —
+// the shape the metrics Snapshot.WriteJSONL and the JSONL trace writer
+// emit. Used by CI to assert that `warpsim -metrics-out` produced
+// machine-readable output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target).
+// Reference-style links are rare in this repository and not checked.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	jsonl := flag.Bool("jsonl", false, "validate the arguments as JSON Lines files instead of markdown")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: no files given")
+		os.Exit(2)
+	}
+
+	bad := 0
+	for _, path := range flag.Args() {
+		var errs []string
+		var err error
+		if *jsonl {
+			errs, err = checkJSONL(path)
+		} else {
+			errs, err = checkMarkdown(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "docscheck: %s\n", e)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// external reports whether a link target leaves the repository.
+func external(target string) bool {
+	for _, scheme := range []string{"http://", "https://", "mailto:", "chrome://"} {
+		if strings.HasPrefix(target, scheme) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMarkdown returns one message per broken local link in path.
+func checkMarkdown(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var errs []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if external(target) || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if frag := strings.IndexByte(target, '#'); frag >= 0 {
+				target = target[:frag]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				errs = append(errs, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+			}
+		}
+	}
+	return errs, nil
+}
+
+// checkJSONL returns one message per line of path that is not a JSON
+// object; an empty file is an error (a metrics dump is never empty).
+func checkJSONL(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var errs []string
+	objects := 0
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			errs = append(errs, fmt.Sprintf("%s:%d: not a JSON object: %v", path, i+1, err))
+			continue
+		}
+		objects++
+	}
+	if objects == 0 && len(errs) == 0 {
+		errs = append(errs, fmt.Sprintf("%s: no JSON objects found", path))
+	}
+	return errs, nil
+}

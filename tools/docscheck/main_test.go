@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "exists.md", "target")
+	md := write(t, dir, "doc.md", `
+[ok](exists.md) and [ok too](exists.md#section)
+[external](https://example.com/x) [anchor](#here)
+[broken](missing.md) ![img](missing.png)
+`)
+	errs, err := checkMarkdown(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 2 {
+		t.Fatalf("want 2 broken links, got %d: %v", len(errs), errs)
+	}
+	for _, e := range errs {
+		if !filepath.IsAbs(e) && e == "" {
+			t.Errorf("empty diagnostic")
+		}
+	}
+}
+
+func TestCheckMarkdownRepoDocs(t *testing.T) {
+	// The repository's own documentation must stay link-clean; this is
+	// the in-process form of the CI docs job.
+	files, err := filepath.Glob("../../docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, "../../README.md")
+	for _, f := range files {
+		errs, err := checkMarkdown(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for _, e := range errs {
+			t.Errorf("%s", e)
+		}
+	}
+}
+
+func TestCheckJSONL(t *testing.T) {
+	dir := t.TempDir()
+	good := write(t, dir, "good.jsonl", `{"name":"a","value":1}`+"\n"+`{"name":"b","value":2}`+"\n")
+	if errs, err := checkJSONL(good); err != nil || len(errs) != 0 {
+		t.Fatalf("good file flagged: errs=%v err=%v", errs, err)
+	}
+	bad := write(t, dir, "bad.jsonl", "{\"ok\":true}\nnot json\n")
+	if errs, err := checkJSONL(bad); err != nil || len(errs) != 1 {
+		t.Fatalf("want 1 error, got errs=%v err=%v", errs, err)
+	}
+	empty := write(t, dir, "empty.jsonl", "\n")
+	if errs, err := checkJSONL(empty); err != nil || len(errs) != 1 {
+		t.Fatalf("empty file must be flagged, got errs=%v err=%v", errs, err)
+	}
+}

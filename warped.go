@@ -12,9 +12,15 @@
 //	fmt.Printf("coverage %.1f%%, %d cycles\n", 100*res.Coverage(), res.Cycles)
 //
 // Runner is the context-aware entry point: functional options select
-// the configuration, fault injection, retry policy, and tracing, and
-// RunMany fans independent workloads out across a worker pool. The
-// RunBenchmark* helpers are deprecated wrappers over it.
+// the configuration, fault injection, retry policy, tracing, and
+// metrics, and RunMany fans independent workloads out across a worker
+// pool. The RunBenchmark* helpers are deprecated wrappers over it.
+//
+// Operational telemetry is opt-in and never perturbs the deterministic
+// simulation output: attach a Metrics registry (WithMetrics or
+// Runner.Metrics), stream instruction traces (WithTrace with the CSV,
+// JSONL or Chrome writers), or serve pprof/expvar with MetricsHandler.
+// docs/OBSERVABILITY.md documents the full metric contract.
 //
 // Custom kernels are written in a PTX-like assembly (see package
 // internal/asm for the syntax) and launched on a GPU instance:
@@ -28,6 +34,9 @@ package warped
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"time"
 
 	"warped/internal/arch"
 	"warped/internal/asm"
@@ -38,6 +47,7 @@ import (
 	"warped/internal/isa"
 	"warped/internal/kernels"
 	"warped/internal/mem"
+	"warped/internal/metrics"
 	"warped/internal/power"
 	"warped/internal/runner"
 	"warped/internal/sim"
@@ -118,6 +128,44 @@ type (
 
 // NewTraceRing builds a ring buffer trace sink holding n events.
 func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// Observability types, re-exported from internal/metrics and
+// internal/trace. See docs/OBSERVABILITY.md for the metric contract.
+type (
+	// Metrics is a low-overhead counter/gauge/histogram registry. Attach
+	// one to a run with WithMetrics (or Runner.Metrics) and read it back
+	// with Snapshot. Safe for concurrent use; a nil *Metrics is valid
+	// and costs one branch per instrument bump.
+	Metrics = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's values,
+	// renderable as text (String) or JSON Lines (WriteJSONL).
+	MetricsSnapshot = metrics.Snapshot
+	// ChromeTraceWriter streams trace events in the Chrome trace-event
+	// JSON format for chrome://tracing / ui.perfetto.dev. Close it.
+	ChromeTraceWriter = trace.ChromeWriter
+	// JSONLTraceWriter streams trace events as JSON Lines.
+	JSONLTraceWriter = trace.JSONLWriter
+	// CSVTraceWriter streams trace events as CSV rows.
+	CSVTraceWriter = trace.CSVWriter
+)
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// NewChromeTraceWriter builds a Chrome trace-event sink writing to w.
+// Call Close after the run to terminate the JSON array.
+func NewChromeTraceWriter(w io.Writer) *ChromeTraceWriter { return trace.NewChromeWriter(w) }
+
+// NewJSONLTraceWriter builds a JSON Lines trace sink writing to w.
+func NewJSONLTraceWriter(w io.Writer) *JSONLTraceWriter { return trace.NewJSONLWriter(w) }
+
+// NewCSVTraceWriter builds a CSV trace sink writing to w.
+func NewCSVTraceWriter(w io.Writer) *CSVTraceWriter { return trace.NewCSVWriter(w) }
+
+// MetricsHandler returns an http.Handler exposing reg as /debug/metrics
+// (JSONL snapshot) alongside /debug/pprof/* and /debug/vars — the
+// operational surface the CLIs mount behind their -pprof flag.
+func MetricsHandler(reg *Metrics) http.Handler { return metrics.Handler(reg) }
 
 // NewDiagnoser builds a fault-lane diagnoser; feed it to
 // RunBenchmarkWithFaults as the error callback via (*Diagnoser).Observe.
@@ -204,6 +252,12 @@ type Runner struct {
 	// Progress, when non-nil, is called after each RunMany workload
 	// completes with (done, total) counts.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives operational telemetry from every
+	// Run and RunMany call: simulator/DMR counters of each launch, the
+	// run.latency_ms histogram, and (for RunMany) worker-pool telemetry
+	// from internal/runner. A per-call WithMetrics overrides it. See
+	// docs/OBSERVABILITY.md for the metric contract.
+	Metrics *Metrics
 }
 
 // runSpec is the resolved option set of one Run call.
@@ -259,6 +313,15 @@ func WithLaunchOpts(opts LaunchOpts) RunOption { return func(s *runSpec) { s.opt
 // or off, overriding the default (validate only fault-free runs).
 func WithValidation(on bool) RunOption { return func(s *runSpec) { s.validate = &on } }
 
+// WithMetrics attaches a metrics registry to the run: every launch of
+// the workload contributes its simulator and DMR counters, and the
+// whole Run is observed into the run.latency_ms histogram. Read the
+// results with m.Snapshot() after Run returns. The registry accumulates
+// across runs (and is safe to share between concurrent ones); use a
+// fresh registry per run for per-run numbers. Attaching a registry
+// never changes the simulation output — stats stay byte-identical.
+func WithMetrics(m *Metrics) RunOption { return func(s *runSpec) { s.opts.Metrics = m } }
+
 // Run executes one named Table 4 workload under ctx. Cancellation is
 // checked every few thousand simulated cycles, so even a hung kernel
 // returns promptly with a ctx.Err()-wrapped error.
@@ -269,6 +332,16 @@ func (r *Runner) Run(ctx context.Context, name string, options ...RunOption) (*R
 	}
 	if spec.attempts < 1 {
 		spec.attempts = 1
+	}
+	if spec.opts.Metrics == nil {
+		spec.opts.Metrics = r.Metrics
+	}
+	if reg := spec.opts.Metrics; reg != nil {
+		start := time.Now()
+		defer func() {
+			reg.Histogram("run.latency_ms", metrics.LatencyMSBounds).
+				Observe(time.Since(start).Milliseconds())
+		}()
 	}
 	b, err := findBenchmark(name)
 	if err != nil {
@@ -353,7 +426,7 @@ func runOnce(ctx context.Context, b *Benchmark, spec *runSpec) (*Stats, int, err
 // completion order). A panicking run becomes that workload's error; the
 // first failure cancels the remaining workloads.
 func (r *Runner) RunMany(ctx context.Context, names []string, options ...RunOption) ([]*Result, error) {
-	return runner.Map(ctx, runner.Options{Workers: r.Parallel, OnProgress: r.Progress},
+	return runner.Map(ctx, runner.Options{Workers: r.Parallel, OnProgress: r.Progress, Metrics: r.Metrics},
 		len(names), func(ctx context.Context, i int) (*Result, error) {
 			return r.Run(ctx, names[i], options...)
 		})
