@@ -502,6 +502,8 @@ func parseMemInstr(in isa.Instr, mnem string, ops []string, line int) (isa.Instr
 			return in, "", "", errf(line, "%v", err)
 		}
 		in.Dst, in.Src[0], in.Off, in.Src[1] = rd, base, off, val
+	default:
+		return in, "", "", errf(line, "internal: %s is not a memory op", op)
 	}
 	return in, "", "", nil
 }

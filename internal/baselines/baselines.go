@@ -136,6 +136,9 @@ func EvaluateContext(ctx context.Context, a Approach, bench *kernels.Benchmark, 
 		// One upload, but both the original and redundant outputs come
 		// back for comparison on the host.
 		transferS = pcie.Time(run.InBytes) + 2*pcie.Time(run.OutBytes)
+	case Original, DMTR, WarpedDMR:
+		// Single launch, single round trip: the simulated cycles and the
+		// plain transfer model already cover these.
 	}
 	return Result{Approach: a, KernelS: kernelS, TransferS: transferS, Stats: total}, nil
 }

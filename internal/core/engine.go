@@ -110,11 +110,11 @@ func (e *Engine) QueueSizeBytes() int { return e.cfg.ReplayQSize * ReplayQEntryB
 // computable reports whether an instruction's result can be recomputed
 // by a redundant lane (i.e. it is a DMR target).
 func computable(op isa.Opcode) bool {
-	switch op {
-	case isa.OpNOP, isa.OpPAND, isa.OpPNOT, isa.OpBRA, isa.OpBAR, isa.OpEXIT:
-		return false
-	}
-	return true
+	// Control ops (BRA/BAR/EXIT) plus NOP and the predicate-file ops
+	// have no lane value to recompute; everything else — including
+	// LD/ST/ATOM, whose effective address is the verified value — does.
+	return op.Unit() != isa.UnitCTRL &&
+		op != isa.OpNOP && op != isa.OpPAND && op != isa.OpPNOT
 }
 
 // IdleCycle informs the engine that the SM issued nothing at cycle now.

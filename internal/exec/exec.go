@@ -249,6 +249,10 @@ func Compute(in *isa.Instr, a, b, c uint32) (val uint32, ok bool) {
 			return 1, true
 		}
 		return 0, true
+	case isa.OpNOP, isa.OpPAND, isa.OpPNOT, isa.OpBRA, isa.OpBAR, isa.OpEXIT:
+		// Control and predicate-file ops have no lane-computable result;
+		// the DMR layer verifies them by other means (or not at all).
+		return 0, false
 	}
 	return 0, false
 }
@@ -317,6 +321,7 @@ func Step(ctx *Context, prog *isa.Program, w *simt.Warp, r *Regs,
 	executing := guardMask(r, in.Pred, active)
 	rec.Executing = executing
 
+	//simlint:ignore exhaustive-switch — control and predicate ops return from their cases; every data op deliberately falls through to the shared SP/SFU/LDST path below
 	switch in.Op {
 	case isa.OpEXIT:
 		rec.IsExit = true
@@ -369,8 +374,7 @@ func Step(ctx *Context, prog *isa.Program, w *simt.Warp, r *Regs,
 		}
 	}
 
-	switch in.Op {
-	case isa.OpLD, isa.OpST, isa.OpATOM:
+	if in.Op.Unit() == isa.UnitLDST {
 		return stepMem(ctx, in, w, r, rec, executing, cfgSegBytes, cfgBanks, perturb)
 	}
 
@@ -445,7 +449,7 @@ func stepMem(ctx *Context, in *isa.Instr, w *simt.Warp, r *Regs, rec *Record,
 		if ctx.Metrics != nil && rec.BankSer > 1 {
 			ctx.Metrics.SharedBankExtra.Add(int64(rec.BankSer - 1))
 		}
-	default:
+	case isa.SpaceGlobal, isa.SpaceParam, isa.SpaceLocal:
 		rec.Segments = mem.CoalesceSegments(rec.Addrs[:], uint32(executing), segBytes)
 		rec.BankSer = 1
 	}
@@ -456,9 +460,10 @@ func stepMem(ctx *Context, in *isa.Instr, w *simt.Warp, r *Regs, rec *Record,
 			return ctx.Shared.Load32(addr)
 		case isa.SpaceParam:
 			return ctx.Params.Load32(addr)
-		default:
+		case isa.SpaceGlobal, isa.SpaceLocal:
 			return ctx.Global.Load32(addr)
 		}
+		return 0, fmt.Errorf("exec: load from unknown space %d", in.Space)
 	}
 	store32 := func(addr, v uint32) error {
 		switch in.Space {
@@ -466,9 +471,10 @@ func stepMem(ctx *Context, in *isa.Instr, w *simt.Warp, r *Regs, rec *Record,
 			return ctx.Shared.Store32(addr, v)
 		case isa.SpaceParam:
 			return fmt.Errorf("exec: store to param space")
-		default:
+		case isa.SpaceGlobal, isa.SpaceLocal:
 			return ctx.Global.Store32(addr, v)
 		}
+		return fmt.Errorf("exec: store to unknown space %d", in.Space)
 	}
 
 	switch in.Op {
@@ -519,6 +525,8 @@ func stepMem(ctx *Context, in *isa.Instr, w *simt.Warp, r *Regs, rec *Record,
 			}
 			dst[lane] = old
 		}
+	default:
+		return nil, fmt.Errorf("exec: pc %d: %s is not a memory op", rec.PC, in.Op)
 	}
 	w.Advance()
 	return rec, nil

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -53,8 +54,8 @@ var specialNames = map[Reg]string{
 
 // SpecialByName resolves a %-prefixed special register name.
 func SpecialByName(name string) (Reg, bool) {
-	for r, n := range specialNames {
-		if n == name {
+	for r := SpecialBase + 1; r < RegSpecialEnd; r++ {
+		if specialNames[r] == name {
 			return r, true
 		}
 	}
@@ -199,6 +200,7 @@ func (in *Instr) String() string {
 		b.WriteString(in.Pred.String())
 		b.WriteByte(' ')
 	}
+	//simlint:ignore exhaustive-switch — special-shape mnemonics only; the default renders any data op from opTable metadata (name, HasDst, NumSrc), so new opcodes print correctly without a case
 	switch in.Op {
 	case OpSETP:
 		fmt.Fprintf(&b, "setp.%s.%s p%d, %s, %s", in.Cmp, in.CmpTy, in.PDst, in.srcString(0), in.srcString(1))
@@ -247,13 +249,19 @@ type Program struct {
 // target gets a label, so the output reassembles to an identical
 // program (the asm package tests this round trip).
 func (p *Program) Disassemble() string {
-	byPC := make(map[int][]string)
-	for name, pc := range p.Labels {
-		byPC[pc] = append(byPC[pc], name)
+	names := make([]string, 0, len(p.Labels))
+	for name := range p.Labels {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+	byPC := make(map[int][]string)
 	labelFor := make(map[int]string)
-	for pc, names := range byPC {
-		labelFor[pc] = names[0]
+	for _, name := range names {
+		pc := p.Labels[name]
+		byPC[pc] = append(byPC[pc], name)
+		if _, ok := labelFor[pc]; !ok {
+			labelFor[pc] = name // first in sorted order, so the choice is stable
+		}
 	}
 	ensure := func(pc int) string {
 		if l, ok := labelFor[pc]; ok {

@@ -19,6 +19,7 @@ const bitonicN = 512
 
 const bitonicSrc = `
 .kernel bitonic
+.shared 2048
 	mov  r0, %tid.x
 	ld.param r1, [0]            ; data
 	ld.param r2, [4]            ; n
@@ -83,7 +84,7 @@ func buildBitonic(g *sim.GPU) (*Run, error) {
 		Prog:  prog,
 		GridX: 1, GridY: 1,
 		BlockX: bitonicN, BlockY: 1,
-		SharedBytes: 4 * bitonicN,
+		SharedBytes: prog.SharedBytes,
 		Params:      mem.NewParams(d, bitonicN),
 	}
 	check := func(g *sim.GPU) error {

@@ -35,6 +35,7 @@ func buildFFTSrc() string {
 	var b strings.Builder
 	b.WriteString(`
 .kernel fft256
+.shared 2048
 	mov  r0, %tid.x
 	mov  r2, %ctaid.x
 	ld.param r3, [0]
@@ -175,7 +176,7 @@ func buildFFT(g *sim.GPU) (*Run, error) {
 		Prog:  prog,
 		GridX: fftBlocks, GridY: 1,
 		BlockX: fftThreads, BlockY: 1,
-		SharedBytes: 2 * fftN * 4,
+		SharedBytes: prog.SharedBytes,
 		Params:      mem.NewParams(data),
 	}
 	check := func(g *sim.GPU) error {

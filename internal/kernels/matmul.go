@@ -43,6 +43,7 @@ func buildMatmulSrc() string {
 
 const matmulProlog = `
 .kernel matmul
+.shared 2048
 	mov r0, %tid.x
 	mov r1, %tid.y
 	mov r2, %ctaid.x
@@ -135,7 +136,7 @@ func buildMatmul(g *sim.GPU) (*Run, error) {
 		Prog:  prog,
 		GridX: mmN / 16, GridY: mmM / 16,
 		BlockX: 16, BlockY: 16,
-		SharedBytes: 2 * 16 * 16 * 4,
+		SharedBytes: prog.SharedBytes,
 		Params:      mem.NewParams(mmK, mmN, da, db, dc),
 	}
 	check := func(g *sim.GPU) error {

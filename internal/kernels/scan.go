@@ -25,6 +25,7 @@ const (
 // params: [0]=in, [4]=out, [8]=blockSums (0 = skip), [12]=n (power of 2).
 const scanBlockSrc = `
 .kernel scan_block
+.shared 2048
 	mov  r0, %tid.x
 	mov  r1, %ctaid.x
 	ld.param r2, [0]
@@ -171,13 +172,15 @@ func buildScan(g *sim.GPU) (*Run, error) {
 			Prog:  blockProg,
 			GridX: scanBlocks, GridY: 1,
 			BlockX: scanBlockElems / 2, BlockY: 1,
-			SharedBytes: 4 * scanBlockElems,
+			SharedBytes: blockProg.SharedBytes,
 			Params:      mem.NewParams(din, dout, dsums, scanBlockElems),
 		}},
 		{Kernel: &sim.Kernel{ // scan the block sums in place (single block)
 			Prog:  blockProg,
 			GridX: 1, GridY: 1,
 			BlockX: scanBlocks / 2, BlockY: 1,
+			// Deliberately less than the program's declared worst case:
+			// the 16-thread sums pass touches only the first 128 bytes.
 			SharedBytes: 4 * scanBlocks,
 			Params:      mem.NewParams(dsums, dsums, 0, scanBlocks),
 		}},

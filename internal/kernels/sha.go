@@ -33,6 +33,7 @@ func buildShaSrc() string {
 	var b strings.Builder
 	b.WriteString(`
 .kernel sha1
+.shared 4096
 	mov  r0, %ctaid.x
 	mov  r1, %ntid.x
 	imad r2, r0, r1, %tid.x     ; gtid
@@ -220,7 +221,7 @@ func buildSha(g *sim.GPU) (*Run, error) {
 		Prog:  prog,
 		GridX: shaBlocks, GridY: 1,
 		BlockX: shaThreads, BlockY: 1,
-		SharedBytes: shaThreads * 16 * 4,
+		SharedBytes: prog.SharedBytes,
 		Params:      mem.NewParams(dmsg, ddig),
 	}
 	check := func(g *sim.GPU) error {

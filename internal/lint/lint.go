@@ -1,0 +1,274 @@
+// Package lint is simlint: a stdlib-only static-analysis pass over the
+// simulator's own Go source. The reproduction's headline figures hold
+// only because every campaign is bit-reproducible and every instruction
+// is classified exhaustively; those invariants used to live in golden
+// tests and reviewers' heads. simlint makes them machine-checked, the
+// same way internal/verify machine-checks kernel programs.
+//
+// Rules (ids are stable; docs/STATIC_ANALYSIS.md is the contract):
+//
+//	determinism       no wall-clock time, no package-level math/rand,
+//	                  and no map iteration inside the deterministic
+//	                  packages (tests exempt)
+//	exhaustive-switch every switch over a module-defined enum covers
+//	                  all members, or carries a default that panics or
+//	                  constructs an error/diagnostic — adding an
+//	                  opcode must fail CI, not mispredict a unit
+//	atomic-align      64-bit atomics in structs sit at 8-byte-aligned
+//	                  offsets under a 32-bit layout (without relying on
+//	                  the compiler's align64 rescue)
+//	nil-metrics       hot-path packages resolve instruments through
+//	                  the pre-resolved metrics.For* sets, never via
+//	                  per-call Registry lookups
+//	ctx-loop          unbounded loops in cancellation-aware packages
+//	                  consult their context
+//	suppression       simlint:ignore directives are well-formed,
+//	                  carry a reason, and suppress something
+//
+// Findings can be silenced per line with a justified directive on the
+// same line or the line above:
+//
+//	//simlint:ignore <rule>[,<rule>...] — <reason>
+//
+// The reason is mandatory; "--" is accepted in place of the em dash.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one positioned diagnostic.
+type Finding struct {
+	File string `json:"file"` // module-root-relative path
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Pkg  string `json:"package"` // import path
+	Rule string `json:"rule"`
+	Msg  string `json:"message"`
+}
+
+// String renders the stable greppable text form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Msg)
+}
+
+// Findings is a sorted list of diagnostics.
+type Findings []Finding
+
+// WriteText writes one finding per line in the text form.
+func (fs Findings) WriteText(w io.Writer) error {
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes one JSON object per finding, in finding order, the
+// schema tools/docscheck -jsonl validates in CI.
+func (fs Findings) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, f := range fs {
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rule identifiers.
+const (
+	RuleDeterminism = "determinism"
+	RuleExhaustive  = "exhaustive-switch"
+	RuleAtomicAlign = "atomic-align"
+	RuleNilMetrics  = "nil-metrics"
+	RuleCtxLoop     = "ctx-loop"
+	RuleSuppression = "suppression"
+)
+
+// knownRules is the set a simlint:ignore directive may name. The
+// suppression rule itself is deliberately absent: directive problems
+// cannot be suppressed.
+var knownRules = map[string]bool{
+	RuleDeterminism: true,
+	RuleExhaustive:  true,
+	RuleAtomicAlign: true,
+	RuleNilMetrics:  true,
+	RuleCtxLoop:     true,
+}
+
+// Config selects what to lint and which packages carry the scoped
+// rules. Zero-value fields are filled with the Warped-DMR defaults
+// derived from the loaded module's path.
+type Config struct {
+	// Dir is any directory inside the module (the loader walks up to
+	// go.mod). Empty means ".".
+	Dir string
+
+	// Patterns selects the packages rules run on: "./..." (everything),
+	// "dir/..." (a subtree), or "dir" (one package), all relative to the
+	// module root. Empty means "./...". The whole module is always
+	// loaded and type-checked regardless; patterns scope findings only.
+	Patterns []string
+
+	// Deterministic lists import paths (exact, or "prefix/..." subtrees)
+	// under the determinism rule. Nil selects the simulator's
+	// deterministic core: internal/{sim,core,exec,simt,isa,mem,fault,
+	// experiments}.
+	Deterministic []string
+
+	// CtxChecked lists import paths under the ctx-loop rule. Nil selects
+	// internal/runner and internal/sim.
+	CtxChecked []string
+
+	// RegistryTypes lists fully-qualified type names ("path.Name") whose
+	// per-call instrument-resolution methods are banned in Deterministic
+	// and CtxChecked packages. Nil selects internal/metrics.Registry.
+	RegistryTypes []string
+}
+
+func (c Config) withDefaults(modPath string) Config {
+	if c.Dir == "" {
+		c.Dir = "."
+	}
+	if len(c.Patterns) == 0 {
+		c.Patterns = []string{"./..."}
+	}
+	if c.Deterministic == nil {
+		for _, p := range []string{"sim", "core", "exec", "simt", "isa", "mem", "fault", "experiments"} {
+			c.Deterministic = append(c.Deterministic, modPath+"/internal/"+p)
+		}
+	}
+	if c.CtxChecked == nil {
+		c.CtxChecked = []string{modPath + "/internal/runner", modPath + "/internal/sim"}
+	}
+	if c.RegistryTypes == nil {
+		c.RegistryTypes = []string{modPath + "/internal/metrics.Registry"}
+	}
+	return c
+}
+
+// matchList reports whether path matches any entry: exact, or a
+// "prefix/..." subtree pattern ("..." alone matches everything).
+func matchList(list []string, path string) bool {
+	for _, e := range list {
+		if e == path || e == "..." {
+			return true
+		}
+		if p, ok := strings.CutSuffix(e, "/..."); ok {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchPattern reports whether the package (by root-relative dir) is
+// selected by a CLI-style pattern.
+func matchPattern(patterns []string, rel string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." {
+			return true
+		}
+		if p, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				return true
+			}
+			continue
+		}
+		if pat == "." && rel == "" {
+			return true
+		}
+		if rel == strings.TrimSuffix(pat, "/") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtx is the per-package state handed to each rule.
+type checkCtx struct {
+	cfg *Config
+	mod *module
+	pkg *Package
+
+	deterministic bool // pkg is under the determinism rule
+	ctxChecked    bool // pkg is under the ctx-loop rule
+
+	findings *Findings
+}
+
+func (c *checkCtx) addf(pos token.Pos, rule, format string, args ...any) {
+	p := c.mod.Fset.Position(pos)
+	*c.findings = append(*c.findings, Finding{
+		File: c.mod.relFile(p.Filename),
+		Line: p.Line,
+		Col:  p.Column,
+		Pkg:  c.pkg.Path,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run loads the module containing cfg.Dir, type-checks it, and returns
+// every unsuppressed finding in the pattern-selected packages, sorted
+// by file, line, column, then rule. A non-nil error means the module
+// could not be analyzed at all (parse or type errors), not that
+// findings exist.
+func Run(cfg Config) (Findings, error) {
+	if cfg.Dir == "" {
+		cfg.Dir = "."
+	}
+	mod, err := loadModule(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(mod.Path)
+
+	var raw Findings
+	for _, pkg := range mod.Pkgs {
+		if !matchPattern(cfg.Patterns, pkg.Rel) {
+			continue
+		}
+		c := &checkCtx{
+			cfg:           &cfg,
+			mod:           mod,
+			pkg:           pkg,
+			deterministic: matchList(cfg.Deterministic, pkg.Path),
+			ctxChecked:    matchList(cfg.CtxChecked, pkg.Path),
+			findings:      &raw,
+		}
+		checkDeterminism(c)
+		checkExhaustiveSwitches(c)
+		checkAtomicAlignment(c)
+		checkNilMetrics(c)
+		checkCtxLoops(c)
+	}
+
+	out := applySuppressions(mod, cfg.Patterns, raw)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return out, nil
+}

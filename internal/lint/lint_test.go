@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// collectMarkers walks a fixture module and returns the expected
+// finding set from //lintwant trailing comments: "file:line:rule",
+// with file module-root-relative.
+func collectMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := make(map[string]bool)
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, found := strings.Cut(line, "//lintwant ")
+			if !found {
+				continue
+			}
+			rule := strings.Fields(after)[0]
+			want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), i+1, rule)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collecting markers: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no //lintwant markers", dir)
+	}
+	return want
+}
+
+// TestFixtures runs the engine over each seeded fixture module and
+// compares findings against the //lintwant markers, one per rule.
+func TestFixtures(t *testing.T) {
+	for _, fx := range []string{"determinism", "exhaustive", "atomic", "nilmetrics", "ctxloop"} {
+		t.Run(fx, func(t *testing.T) {
+			dir := filepath.Join("testdata", fx)
+			got, err := Run(Config{Dir: dir})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			gotSet := make(map[string]bool)
+			for _, f := range got {
+				gotSet[fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Rule)] = true
+			}
+			want := collectMarkers(t, dir)
+			for k := range want {
+				if !gotSet[k] {
+					t.Errorf("missing expected finding %s", k)
+				}
+			}
+			for _, f := range got {
+				k := fmt.Sprintf("%s:%d:%s", f.File, f.Line, f.Rule)
+				if !want[k] {
+					t.Errorf("unexpected finding %s: %s", k, f.Msg)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanFixture checks a violation-free module yields no findings.
+func TestCleanFixture(t *testing.T) {
+	got, err := Run(Config{Dir: filepath.Join("testdata", "clean")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want no findings, got %d:\n%s", len(got), textOf(got))
+	}
+}
+
+// TestSelfRun lints the real module: the tree must stay clean, with
+// every remaining suppression carrying a written reason (enforced by
+// the suppression rule itself).
+func TestSelfRun(t *testing.T) {
+	got, err := Run(Config{Dir: filepath.Join("..", "..")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("the module has %d simlint finding(s):\n%s", len(got), textOf(got))
+	}
+}
+
+// TestFindingsSorted checks Run's output ordering is total.
+func TestFindingsSorted(t *testing.T) {
+	got, err := Run(Config{Dir: filepath.Join("testdata", "determinism")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool {
+		a, b := got[i], got[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	}) {
+		t.Fatalf("findings not sorted:\n%s", textOf(got))
+	}
+}
+
+// TestWriteJSONL checks the machine-readable schema: one JSON object
+// per line with exactly the documented keys, parseable by
+// tools/docscheck -jsonl.
+func TestWriteJSONL(t *testing.T) {
+	got, err := Run(Config{Dir: filepath.Join("testdata", "determinism")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("fixture produced no findings to serialize")
+	}
+	var buf bytes.Buffer
+	if err := got.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d is not a JSON object: %v", n+1, err)
+		}
+		for _, key := range []string{"file", "line", "col", "package", "rule", "message"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("line %d missing key %q", n+1, key)
+			}
+		}
+		if len(obj) != 6 {
+			t.Errorf("line %d has %d keys, want 6", n+1, len(obj))
+		}
+		n++
+	}
+	if n != len(got) {
+		t.Fatalf("wrote %d lines for %d findings", n, len(got))
+	}
+}
+
+func textOf(fs Findings) string {
+	var buf bytes.Buffer
+	_ = fs.WriteText(&buf)
+	return buf.String()
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path ("warped/internal/sim")
+	Dir   string // absolute directory
+	Rel   string // module-root-relative directory ("" for the root package)
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// module is the fully loaded and type-checked module.
+type module struct {
+	Root   string // absolute module root (directory of go.mod)
+	Path   string // module path from go.mod
+	Fset   *token.FileSet
+	Pkgs   []*Package // dependency (topological) order
+	byPath map[string]*Package
+}
+
+var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	if fi, err := os.Stat(d); err != nil || !fi.IsDir() {
+		// Refuse to silently walk up from a typo'd -C path into some
+		// enclosing module.
+		return "", "", fmt.Errorf("lint: %s is not a directory", dir)
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			m := moduleLineRE.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+			}
+			return d, string(m[1]), nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// discoverDirs returns every package directory of the module, skipping
+// testdata, vendor, hidden/underscore directories, and nested modules.
+func discoverDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") &&
+				!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+var buildIgnoreRE = regexp.MustCompile(`(?m)^//go:build .*\bignore\b`)
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		path := filepath.Join(dir, n)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if buildIgnoreRE.Match(src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// moduleImporter resolves module-internal imports from the loader's
+// cache (packages are type-checked in dependency order, so every
+// internal import is already resolved) and everything else through the
+// toolchain's export data.
+type moduleImporter struct {
+	m   *module
+	std types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == mi.m.Path || strings.HasPrefix(path, mi.m.Path+"/") {
+		if p, ok := mi.m.byPath[path]; ok && p.Pkg != nil {
+			return p.Pkg, nil
+		}
+		return nil, fmt.Errorf("lint: internal import %q not yet loaded (import cycle?)", path)
+	}
+	return mi.std.Import(path)
+}
+
+// loadModule parses and type-checks every package of the module that
+// contains dir. The entire module is always loaded — rules need type
+// information for dependencies even when only a subset of packages is
+// being linted.
+func loadModule(dir string) (*module, error) {
+	root, modPath, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &module{
+		Root:   root,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	dirs, err := discoverDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dirs {
+		files, err := parseDir(m.Fset, d)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		} else {
+			rel = ""
+		}
+		m.byPath[path] = &Package{Path: path, Dir: d, Rel: rel, Files: files}
+	}
+
+	order, err := m.topoSort()
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{m: m, std: importer.ForCompiler(m.Fset, "gc", nil)}
+	for _, p := range order {
+		var typeErrs []string
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if len(typeErrs) < 10 {
+					typeErrs = append(typeErrs, err.Error())
+				}
+			},
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		pkg, _ := conf.Check(p.Path, m.Fset, p.Files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("lint: %s does not type-check:\n  %s",
+				p.Path, strings.Join(typeErrs, "\n  "))
+		}
+		p.Pkg = pkg
+		p.Info = info
+		m.Pkgs = append(m.Pkgs, p)
+	}
+	return m, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer.
+func (m *module) topoSort() ([]*Package, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int)
+	var order []*Package
+	var visit func(path string, chain []string) error
+	visit = func(path string, chain []string) error {
+		p, ok := m.byPath[path]
+		if !ok {
+			return nil // external or missing; the type checker will say so
+		}
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle: %s -> %s", strings.Join(chain, " -> "), path)
+		}
+		state[path] = visiting
+		deps := make(map[string]bool)
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				ip := strings.Trim(im.Path.Value, `"`)
+				if ip == m.Path || strings.HasPrefix(ip, m.Path+"/") {
+					deps[ip] = true
+				}
+			}
+		}
+		sorted := make([]string, 0, len(deps))
+		for d := range deps {
+			sorted = append(sorted, d)
+		}
+		sort.Strings(sorted)
+		for _, d := range sorted {
+			if err := visit(d, append(chain, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(m.byPath))
+	for p := range m.byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// relFile converts an absolute file position to a module-root-relative
+// path with forward slashes, the stable form used in findings.
+func (m *module) relFile(file string) string {
+	if rel, err := filepath.Rel(m.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// layout32 is a deliberately conservative 32-bit (GOARCH=386-like)
+// layout model: word size 4, and — unlike go/types.SizesFor — NO
+// special case for sync/atomic's align64 marker. The compiler rescues
+// atomic.Int64 fields with hidden padding; this rule demands the
+// alignment be structural instead, so the layout stays identical on
+// every target, plain-int64 atomic idioms stay safe, and no padding is
+// wasted. Offsets assume the struct itself starts 8-aligned (the
+// allocator guarantees that for any allocation this large).
+type layout32 struct{}
+
+func (l layout32) sizeAlign(t types.Type) (size, align int64) {
+	switch t := t.Underlying().(type) {
+	case *types.Basic:
+		switch t.Kind() {
+		case types.Bool, types.Int8, types.Uint8:
+			return 1, 1
+		case types.Int16, types.Uint16:
+			return 2, 2
+		case types.Int64, types.Uint64, types.Float64, types.Complex64:
+			return 8, 4
+		case types.Complex128:
+			return 16, 4
+		case types.String:
+			return 8, 4
+		default: // Int, Uint, Int32, Uint32, Uintptr, Float32, UnsafePointer
+			return 4, 4
+		}
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return 4, 4
+	case *types.Slice:
+		return 12, 4
+	case *types.Interface:
+		return 8, 4
+	case *types.Array:
+		es, ea := l.sizeAlign(t.Elem())
+		return roundUp(es, ea) * t.Len(), ea
+	case *types.Struct:
+		var off, maxAlign int64 = 0, 1
+		for i := 0; i < t.NumFields(); i++ {
+			fs, fa := l.sizeAlign(t.Field(i).Type())
+			if fa > maxAlign {
+				maxAlign = fa
+			}
+			off = roundUp(off, fa) + fs
+		}
+		return roundUp(off, maxAlign), maxAlign
+	default:
+		return 4, 4
+	}
+}
+
+func roundUp(v, align int64) int64 {
+	if align <= 1 {
+		return v
+	}
+	return (v + align - 1) / align * align
+}
+
+// isAtomic64 reports whether t is sync/atomic.Int64 or Uint64.
+func isAtomic64(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" &&
+		(obj.Name() == "Int64" || obj.Name() == "Uint64")
+}
+
+// atomicLeaves walks a struct's fields recursively and calls report for
+// every 64-bit atomic at a non-8-aligned offset under layout32.
+func (c *checkCtx) atomicLeaves(st *types.Struct, base int64, l layout32,
+	seen map[*types.Struct]bool, report func(field *types.Var, off int64)) {
+	if seen[st] {
+		return
+	}
+	seen[st] = true
+	var off int64
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fs, fa := l.sizeAlign(f.Type())
+		off = roundUp(off, fa)
+		abs := base + off
+		if isAtomic64(f.Type()) {
+			if abs%8 != 0 {
+				report(f, abs)
+			}
+		} else if inner, ok := f.Type().Underlying().(*types.Struct); ok {
+			c.atomicLeaves(inner, abs, l, seen, report)
+		}
+		off += fs
+	}
+}
+
+// checkAtomicAlignment flags struct fields of type atomic.Int64/Uint64
+// whose offset is not a multiple of 8 under the 32-bit layout model.
+// The metrics registry's counters are the motivating case: they are
+// bumped from every SM worker concurrently, and the structural
+// first/8-aligned convention keeps them torn-read-proof on every
+// target without relying on compiler-inserted padding.
+func checkAtomicAlignment(c *checkCtx) {
+	for _, f := range c.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj, ok := c.pkg.Info.Defs[ts.Name]
+			if !ok || obj == nil {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			c.atomicLeaves(st, 0, layout32{}, map[*types.Struct]bool{},
+				func(field *types.Var, off int64) {
+					pos := field.Pos()
+					if field.Pkg() != c.pkg.Pkg {
+						pos = ts.Pos() // nested field from another package: anchor at the outer decl
+					}
+					c.addf(pos, RuleAtomicAlign,
+						"64-bit atomic %s sits at offset %d of %s on 32-bit targets; move it to the front (or pad) so its offset is a multiple of 8",
+						field.Name(), off, ts.Name.Name)
+				})
+			return true
+		})
+	}
+}

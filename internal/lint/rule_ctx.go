@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// unboundedLoop reports whether a for statement can spin indefinitely:
+// no condition at all, or a while-style loop (condition but neither
+// init nor post). A three-clause counted loop is bounded by
+// construction and exempt even when long.
+func unboundedLoop(fs *ast.ForStmt) bool {
+	return fs.Cond == nil || (fs.Init == nil && fs.Post == nil)
+}
+
+// checkCtxLoops enforces that, in the ctx-checked packages, every
+// outermost unbounded loop of a function that receives a context
+// mentions one of its context values somewhere in the body — a
+// ctx.Err()/ctx.Done() poll, or a call that forwards ctx and can fail.
+// A long campaign must die promptly when its context is cancelled; a
+// worker loop that never looks at ctx strands the whole Runner on
+// shutdown. Functions without a context in scope are skipped: they
+// have nothing to consult.
+func checkCtxLoops(c *checkCtx) {
+	if !c.ctxChecked {
+		return
+	}
+	info := c.pkg.Info
+	for _, f := range c.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObjs := contextObjects(fd, info)
+			if len(ctxObjs) == 0 {
+				continue
+			}
+			var walk func(n ast.Node, inLoop bool)
+			walk = func(n ast.Node, inLoop bool) {
+				ast.Inspect(n, func(m ast.Node) bool {
+					fs, ok := m.(*ast.ForStmt)
+					if !ok || !unboundedLoop(fs) {
+						return true
+					}
+					if !inLoop && !usesAny(fs.Body, info, ctxObjs) {
+						c.addf(fs.Pos(), RuleCtxLoop,
+							"unbounded loop never consults its context; poll ctx.Err() (or select on ctx.Done()) so cancellation can stop it")
+					}
+					// Nested unbounded loops are covered by their outermost
+					// ancestor; walk the body with inLoop set and stop this
+					// Inspect from descending twice.
+					walk(fs.Body, true)
+					return false
+				})
+			}
+			walk(fd.Body, false)
+		}
+	}
+}
+
+// contextObjects collects every context.Context-typed object declared
+// in fn: parameters and locals (including ones bound inside the body).
+func contextObjects(fd *ast.FuncDecl, info *types.Info) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Defs[id]; obj != nil && isContextType(obj.Type()) {
+			objs[obj] = true
+		}
+		return true
+	})
+	return objs
+}
+
+// usesAny reports whether body references any of the given objects.
+func usesAny(body ast.Node, info *types.Info, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

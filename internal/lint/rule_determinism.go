@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// isCollectAppend reports whether a range body is exactly one
+// `xs = append(xs, ...)` statement — the collect-then-sort idiom.
+func isCollectAppend(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) != 1 {
+		return false
+	}
+	as, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && first.Name == lhs.Name
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time. Any
+// of them inside a deterministic package makes output depend on the
+// machine, the load, or the scheduler — exactly what pre-drawn seeded
+// faults and byte-identical parallel campaigns forbid.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true, "After": true,
+	"AfterFunc": true, "NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that do
+// NOT touch the global (unseeded) source: explicit-source constructors.
+// Everything else at package level draws from the global source, whose
+// sequence is shared process-wide and (since Go 1.20) seeded randomly.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// checkDeterminism flags wall-clock reads, global-source math/rand
+// draws, and map iteration in the deterministic packages. Map-range
+// order is randomized by the runtime; any snapshot, trace, or report
+// loop over a map must collect into a slice and sort instead. The one
+// carved-out shape is exactly that idiom's first half: a range whose
+// entire body is a single `xs = append(xs, ...)` — order-independent
+// once the collected slice is sorted (which a reviewer can check
+// locally; the lint cannot).
+func checkDeterminism(c *checkCtx) {
+	if !c.deterministic {
+		return
+	}
+	info := c.pkg.Info
+	for _, f := range c.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "time":
+					if bannedTimeFuncs[sel.Sel.Name] {
+						c.addf(n.Pos(), RuleDeterminism,
+							"time.%s reads the wall clock; deterministic packages must derive every value from seeds and cycle counts",
+							sel.Sel.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					if !allowedRandFuncs[sel.Sel.Name] {
+						c.addf(n.Pos(), RuleDeterminism,
+							"rand.%s draws from the process-global source; use rand.New(rand.NewSource(seed)) so runs replay bit-identically",
+							sel.Sel.Name)
+					}
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap && !isCollectAppend(n.Body) {
+						c.addf(n.Pos(), RuleDeterminism,
+							"map iteration order is randomized; collect into a slice and sort, so output cannot depend on it (%s)",
+							types.TypeString(t, types.RelativeTo(c.pkg.Pkg)))
+					}
+				}
+			}
+			return true
+		})
+	}
+}

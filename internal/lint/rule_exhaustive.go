@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// enumType reports whether t is a module-defined enum: a named type
+// with an integer underlying kind and at least two package-level
+// constants of exactly that type declared alongside it.
+func (c *checkCtx) enumType(t types.Type) (*types.Named, []*types.Const) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil, nil
+	}
+	path := obj.Pkg().Path()
+	if path != c.mod.Path && !strings.HasPrefix(path, c.mod.Path+"/") {
+		return nil, nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, nil
+	}
+	var members []*types.Const
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		if cn, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(cn.Type(), named) {
+			members = append(members, cn)
+		}
+	}
+	if len(members) < 2 {
+		return nil, nil
+	}
+	return named, members
+}
+
+// loudDefault reports whether a default clause is explicit about
+// meeting an unexpected member: it panics, makes any call that yields
+// an error (fmt.Errorf, errors.New, a local errf-style helper), or
+// renders a diagnostic string (fmt.Sprintf, the String() fallback
+// idiom). A default that merely routes unknown values down some
+// existing path re-introduces the silent-misprediction hazard the rule
+// exists to close.
+func (c *checkCtx) loudDefault(body []ast.Stmt) bool {
+	errType := types.Universe.Lookup("error").Type()
+	loud := false
+	for _, s := range body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if t := c.pkg.Info.TypeOf(call); t != nil && types.Identical(t, errType) {
+				loud = true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if _, isBuiltin := c.pkg.Info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "panic" {
+					loud = true
+				}
+			case *ast.SelectorExpr:
+				id, ok := fun.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := c.pkg.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() + "." + fun.Sel.Name {
+				case "fmt.Errorf", "errors.New", "fmt.Sprintf":
+					loud = true
+				}
+			}
+			return true
+		})
+	}
+	return loud
+}
+
+// checkExhaustiveSwitches enforces that switches over module-defined
+// enums either cover every member or carry a loud default. A switch
+// with any non-constant case expression is skipped: coverage cannot be
+// reasoned about statically.
+func checkExhaustiveSwitches(c *checkCtx) {
+	info := c.pkg.Info
+	for _, f := range c.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := info.TypeOf(sw.Tag)
+			if tagType == nil {
+				return true
+			}
+			named, members := c.enumType(tagType)
+			if named == nil {
+				return true
+			}
+
+			covered := make(map[int64]bool)
+			var defaultClause *ast.CaseClause
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, e := range cc.List {
+					tv, ok := info.Types[e]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+						return true // non-constant case: not statically checkable
+					}
+					v, ok := constant.Int64Val(tv.Value)
+					if !ok {
+						return true
+					}
+					covered[v] = true
+				}
+			}
+
+			var missing []string
+			for _, m := range members {
+				v, ok := constant.Int64Val(m.Val())
+				if ok && !covered[v] {
+					missing = append(missing, m.Name())
+				}
+			}
+			sort.Strings(missing)
+			if len(missing) == 0 {
+				return true
+			}
+			name := types.TypeString(named, types.RelativeTo(c.pkg.Pkg))
+			switch {
+			case defaultClause == nil:
+				c.addf(sw.Pos(), RuleExhaustive,
+					"switch on %s misses %s and has no default; a new member would silently fall through",
+					name, strings.Join(missing, ", "))
+			case len(defaultClause.Body) == 0:
+				c.addf(sw.Pos(), RuleExhaustive,
+					"switch on %s misses %s and its default is empty; unknown members are silently ignored",
+					name, strings.Join(missing, ", "))
+			case !c.loudDefault(defaultClause.Body):
+				c.addf(sw.Pos(), RuleExhaustive,
+					"switch on %s misses %s; the default silently classifies them — cover the members, or panic/construct an error in the default",
+					name, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// registryMethods are the per-call instrument-resolution entry points.
+// Each takes the registry mutex and hashes a name; inside the issue or
+// memory loop that cost dwarfs the instrument update itself. Hot-path
+// packages must hold pre-resolved instruments (the metrics.For* sets)
+// resolved once at construction time.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// checkNilMetrics flags calls to Registry.Counter/Gauge/Histogram from
+// the deterministic and ctx-checked (hot-path) packages.
+func checkNilMetrics(c *checkCtx) {
+	if !c.deterministic && !c.ctxChecked {
+		return
+	}
+	banned := make(map[string]bool, len(c.cfg.RegistryTypes))
+	for _, t := range c.cfg.RegistryTypes {
+		banned[t] = true
+	}
+	info := c.pkg.Info
+	for _, f := range c.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.MethodVal {
+				return true
+			}
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if banned[full] {
+				short := full[strings.LastIndex(full, "/")+1:]
+				c.addf(call.Pos(), RuleNilMetrics,
+					"%s.%s resolves an instrument by name on the hot path; resolve once via a pre-built metrics.For* set and store the instrument",
+					short, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

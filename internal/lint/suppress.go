@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"strings"
+)
+
+// directive is one parsed simlint:ignore comment.
+type directive struct {
+	file   string // module-root-relative
+	line   int
+	rules  []string
+	reason string
+	used   bool
+	pkg    string
+}
+
+// parseDirectives extracts every simlint:ignore comment of the
+// pattern-selected packages, returning well-formed directives plus one
+// suppression finding per malformed one. The accepted form is
+//
+//	//simlint:ignore rule[,rule...] — reason
+//
+// with "--" accepted for the em dash.
+func parseDirectives(mod *module, patterns []string) ([]*directive, Findings) {
+	var dirs []*directive
+	var bad Findings
+	for _, pkg := range mod.Pkgs {
+		if !matchPattern(patterns, pkg.Rel) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue // block comments are not directives
+					}
+					payload, ok := strings.CutPrefix(strings.TrimPrefix(text, " "), "simlint:ignore")
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					addBad := func(msg string) {
+						bad = append(bad, Finding{
+							File: mod.relFile(pos.Filename), Line: pos.Line, Col: pos.Column,
+							Pkg: pkg.Path, Rule: RuleSuppression, Msg: msg,
+						})
+					}
+					rulesPart, reason, found := cutAny(payload, "—", "--")
+					if !found {
+						addBad(`malformed simlint:ignore: want "//simlint:ignore <rule> — <reason>"`)
+						continue
+					}
+					reason = strings.TrimSpace(reason)
+					if reason == "" {
+						addBad("simlint:ignore is missing its reason; every suppression must say why")
+						continue
+					}
+					var rules []string
+					okRules := true
+					for _, r := range strings.Split(rulesPart, ",") {
+						r = strings.TrimSpace(r)
+						if r == "" {
+							addBad("simlint:ignore names no rule")
+							okRules = false
+							break
+						}
+						if !knownRules[r] {
+							addBad("simlint:ignore names unknown rule " + quoted(r))
+							okRules = false
+							break
+						}
+						rules = append(rules, r)
+					}
+					if !okRules {
+						continue
+					}
+					dirs = append(dirs, &directive{
+						file: mod.relFile(pos.Filename), line: pos.Line,
+						rules: rules, reason: reason, pkg: pkg.Path,
+					})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+func quoted(s string) string { return `"` + s + `"` }
+
+// cutAny splits s at the first occurrence of any separator.
+func cutAny(s string, seps ...string) (before, after string, found bool) {
+	best := -1
+	width := 0
+	for _, sep := range seps {
+		if i := strings.Index(s, sep); i >= 0 && (best < 0 || i < best) {
+			best, width = i, len(sep)
+		}
+	}
+	if best < 0 {
+		return s, "", false
+	}
+	return s[:best], s[best+width:], true
+}
+
+// applySuppressions removes findings covered by a directive on the same
+// line or the line above, then reports malformed and unused directives
+// as suppression findings.
+func applySuppressions(mod *module, patterns []string, raw Findings) Findings {
+	dirs, bad := parseDirectives(mod, patterns)
+	byFile := make(map[string][]*directive)
+	for _, d := range dirs {
+		byFile[d.file] = append(byFile[d.file], d)
+	}
+
+	var out Findings
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range byFile[f.File] {
+			if d.line != f.Line && d.line != f.Line-1 {
+				continue
+			}
+			for _, r := range d.rules {
+				if r == f.Rule {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range dirs {
+		if !d.used {
+			out = append(out, Finding{
+				File: d.file, Line: d.line, Col: 1, Pkg: d.pkg, Rule: RuleSuppression,
+				Msg: "simlint:ignore " + strings.Join(d.rules, ",") +
+					" suppresses nothing on this or the next line; delete it",
+			})
+		}
+	}
+	return append(out, bad...)
+}

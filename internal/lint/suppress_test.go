@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuppressions runs the suppress fixture: two well-formed
+// directives silence their map-range findings, while the missing
+// reason, unknown rule, malformed, and unused directives each produce
+// a suppression finding — and the findings they failed to cover
+// survive.
+func TestSuppressions(t *testing.T) {
+	got, err := Run(Config{Dir: filepath.Join("testdata", "suppress")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	var nDet, nSup int
+	for _, f := range got {
+		switch f.Rule {
+		case RuleDeterminism:
+			nDet++
+		case RuleSuppression:
+			nSup++
+		default:
+			t.Errorf("unexpected rule %s: %s", f.Rule, f)
+		}
+	}
+	if nDet != 3 || nSup != 4 {
+		t.Fatalf("want 3 determinism + 4 suppression findings, got %d + %d:\n%s",
+			nDet, nSup, textOf(got))
+	}
+
+	for _, fragment := range []string{
+		"missing its reason",
+		"unknown rule",
+		"malformed simlint:ignore",
+		"suppresses nothing",
+	} {
+		found := false
+		for _, f := range got {
+			if f.Rule == RuleSuppression && strings.Contains(f.Msg, fragment) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no suppression finding mentioning %q:\n%s", fragment, textOf(got))
+		}
+	}
+
+	// The two well-formed directives (SumDash, SumASCII) must silence
+	// their loops: no finding may appear before the NoReason block.
+	for _, f := range got {
+		if f.Line < 26 {
+			t.Errorf("finding inside a suppressed region: %s", f)
+		}
+	}
+}
+
+// TestSuppressionNotSuppressible checks directive problems cannot be
+// silenced by another directive: "suppression" is not a known rule.
+func TestSuppressionNotSuppressible(t *testing.T) {
+	if knownRules[RuleSuppression] {
+		t.Fatal("the suppression rule must not be directive-suppressible")
+	}
+}

@@ -1,0 +1,37 @@
+// Package atomic seeds 64-bit atomics at offsets the 32-bit layout
+// model rejects, next to the accepted shapes.
+package atomic
+
+import "sync/atomic"
+
+// Bad puts a bool ahead of the atomic: offset 1 rounds to 4 on 32-bit
+// targets without the compiler's align64 rescue.
+type Bad struct {
+	closed bool
+	ops    atomic.Int64 //lintwant atomic-align
+}
+
+// Good leads with the atomic: offset 0.
+type Good struct {
+	ops    atomic.Int64
+	closed bool
+}
+
+// Padded fixes the offset structurally: allowed.
+type Padded struct {
+	closed bool
+	_      [7]byte
+	ops    atomic.Int64
+}
+
+// Inner is clean on its own (offset 0)...
+type Inner struct {
+	hits atomic.Uint64 //lintwant atomic-align
+}
+
+// ...but Outer embeds it at offset 4, which misaligns hits. The
+// finding anchors at the field inside Inner.
+type Outer struct {
+	gen uint32
+	in  Inner
+}

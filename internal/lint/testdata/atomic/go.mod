@@ -1,0 +1,3 @@
+module fixtureatomic
+
+go 1.21

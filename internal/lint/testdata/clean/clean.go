@@ -1,0 +1,5 @@
+// Package clean has nothing for any rule to object to.
+package clean
+
+// Double returns twice its argument.
+func Double(x int) int { return 2 * x }

@@ -1,0 +1,3 @@
+module fixturectx
+
+go 1.21

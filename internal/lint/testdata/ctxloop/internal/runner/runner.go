@@ -1,0 +1,53 @@
+// Package runner seeds unbounded loops with and without context
+// polling.
+package runner
+
+import "context"
+
+// Spin never consults ctx: cancellation cannot stop it.
+func Spin(ctx context.Context, work chan int) int {
+	n := 0
+	for { //lintwant ctx-loop
+		v, ok := <-work
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+
+// Polite polls ctx each iteration: allowed.
+func Polite(ctx context.Context, work chan int) int {
+	n := 0
+	for {
+		if ctx.Err() != nil {
+			return n
+		}
+		v, ok := <-work
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+
+// Bounded is a three-clause counted loop: exempt by construction.
+func Bounded(ctx context.Context, xs []int) int {
+	n := 0
+	for i := 0; i < len(xs); i++ {
+		n += xs[i]
+	}
+	return n
+}
+
+// NoCtx has no context in scope: nothing to consult, exempt.
+func NoCtx(work chan int) int {
+	n := 0
+	for {
+		v, ok := <-work
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}

@@ -1,0 +1,3 @@
+module fixturedet
+
+go 1.21

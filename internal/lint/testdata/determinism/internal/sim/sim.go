@@ -1,0 +1,44 @@
+// Package sim seeds one violation per determinism sub-rule, plus the
+// allowed shapes next to each.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Tick reads the wall clock inside a deterministic package.
+func Tick() int64 {
+	return time.Now().UnixNano() //lintwant determinism
+}
+
+// Jitter draws from the process-global rand source.
+func Jitter() int {
+	return rand.Intn(8) //lintwant determinism
+}
+
+// Seeded uses an explicit source: allowed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// Sum iterates a map with an order-dependent body.
+func Sum(m map[string]int) string {
+	out := ""
+	for k := range m { //lintwant determinism
+		out += k
+	}
+	return out
+}
+
+// SortedKeys uses the collect-then-sort idiom: allowed.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,65 @@
+// Package exhaustive seeds switches over a local enum in every shape
+// the rule distinguishes.
+package exhaustive
+
+import "fmt"
+
+// Kind is a module-defined enum: named integer type with multiple
+// package-level constants.
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+)
+
+// missing has no default and misses KindC.
+func missing(k Kind) string {
+	switch k { //lintwant exhaustive-switch
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return "?"
+}
+
+// silent routes unknown members down an existing path.
+func silent(k Kind) int {
+	switch k { //lintwant exhaustive-switch
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// empty ignores unknown members entirely.
+func empty(k Kind) {
+	switch k { //lintwant exhaustive-switch
+	case KindA:
+	default:
+	}
+}
+
+// loud panics on unknown members: allowed.
+func loud(k Kind) string {
+	switch k {
+	case KindA, KindB:
+		return "ab"
+	default:
+		panic(fmt.Sprintf("unknown Kind %d", int(k)))
+	}
+}
+
+// full covers every member: allowed.
+func full(k Kind) string {
+	switch k {
+	case KindA, KindB, KindC:
+		return "abc"
+	}
+	return ""
+}
+
+var _ = []any{missing, silent, empty, loud, full}

@@ -1,0 +1,3 @@
+module fixtureexh
+
+go 1.21

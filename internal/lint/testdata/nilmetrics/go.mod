@@ -1,0 +1,3 @@
+module fixturenm
+
+go 1.21

@@ -1,0 +1,33 @@
+// Package metrics mirrors the real registry's shape: named lookups
+// behind a Registry, pre-resolved instrument sets for hot paths.
+package metrics
+
+// Counter is a monotonic instrument.
+type Counter struct{ v int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Registry resolves instruments by name.
+type Registry struct{ counters map[string]*Counter }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// ForSim is the pre-resolved instrument set hot paths should hold.
+type ForSim struct{ Issued *Counter }
+
+// Resolve builds the set once, outside any hot loop.
+func Resolve(r *Registry) *ForSim {
+	return &ForSim{Issued: r.Counter("issued")}
+}

@@ -1,0 +1,17 @@
+// Package sim is a hot-path package: per-call registry lookups are
+// banned here.
+package sim
+
+import "fixturenm/internal/metrics"
+
+// Hot resolves an instrument by name on every call.
+func Hot(r *metrics.Registry) {
+	r.Counter("issued").Inc() //lintwant nil-metrics
+}
+
+// Cold holds a pre-resolved set: allowed.
+func Cold(set *metrics.ForSim, n int) {
+	for i := 0; i < n; i++ {
+		set.Issued.Inc()
+	}
+}

@@ -1,0 +1,3 @@
+module fixturesup
+
+go 1.21

@@ -1,0 +1,60 @@
+// Package sim exercises every simlint:ignore outcome; the expected
+// finding set lives in suppress_test.go, keyed by line number — keep
+// the layout stable.
+package sim
+
+// SumDash is suppressed with an em dash.
+func SumDash(m map[string]int) int {
+	total := 0
+	//simlint:ignore determinism — order-independent summation over values
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumASCII is suppressed with the ASCII separator.
+func SumASCII(m map[string]int) int {
+	total := 0
+	//simlint:ignore determinism -- order-independent summation over values
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// NoReason's directive is rejected, so the finding survives.
+func NoReason(m map[string]int) int {
+	total := 0
+	//simlint:ignore determinism —
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// UnknownRule's directive names a rule that does not exist.
+func UnknownRule(m map[string]int) int {
+	total := 0
+	//simlint:ignore detreminism — typo in the rule name
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Malformed's directive has no separator at all.
+func Malformed(m map[string]int) int {
+	total := 0
+	//simlint:ignore determinism because reasons
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Unused directive: nothing to suppress on this or the next line.
+//simlint:ignore determinism — stale after a refactor
+func Unused() int {
+	return 0
+}

@@ -210,6 +210,9 @@ func (s *sm) issuable(wc *warpCtx, k *Kernel, sched int, now int64) bool {
 		if s.ldstBusy > now {
 			return false
 		}
+	case isa.UnitCTRL:
+		// Control ops need no execution-unit port; issue eligibility is
+		// decided by the DRAM/barrier checks below alone.
 	}
 	// Global accesses stall while the DRAM bandwidth bucket is in debt
 	// (cache hits never create debt, so they pass freely).
@@ -308,6 +311,8 @@ func (s *sm) memCosts(rec *exec.Record) (lat, occ int64) {
 	switch rec.Instr.Space {
 	case isa.SpaceShared, isa.SpaceParam:
 		return int64(s.cfg.SharedLat + rec.BankSer - 1), int64(rec.BankSer)
+	case isa.SpaceGlobal, isa.SpaceLocal:
+		// Fall out to the cache/DRAM path below.
 	}
 
 	bases := s.segBases(rec)
@@ -513,7 +518,7 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 			switch rec.Instr.Space {
 			case isa.SpaceShared, isa.SpaceParam:
 				s.st.SharedAccesses++
-			default:
+			case isa.SpaceGlobal, isa.SpaceLocal:
 				s.st.GlobalAccesses++
 			}
 		}
@@ -541,6 +546,8 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 		s.sfuBusy = now + occ
 	case isa.UnitLDST:
 		s.ldstBusy = now + occ
+	case isa.UnitCTRL:
+		// Control ops occupy no unit.
 	}
 	if rec.DstValid {
 		if rec.Unit != isa.UnitCTRL {

@@ -23,6 +23,7 @@ func (c *checker) buildCFG() {
 	}
 	for pc := range c.p.Instrs {
 		in := &c.p.Instrs[pc]
+		//simlint:ignore exhaustive-switch — BRA and EXIT are the only ops that redirect control; every other op (any unit class) falls through to the next pc, which is exactly what the default records
 		switch in.Op {
 		case isa.OpEXIT:
 			if !in.Pred.None {

@@ -18,19 +18,18 @@ func readPreds(in *isa.Instr) uint8 {
 	if !in.Pred.None {
 		ps |= 1 << in.Pred.Index
 	}
-	switch in.Op {
-	case isa.OpSELP, isa.OpPNOT:
+	if in.Op == isa.OpSELP || in.Op == isa.OpPNOT || in.Op == isa.OpPAND {
 		ps |= 1 << in.PSrcA
-	case isa.OpPAND:
-		ps |= 1<<in.PSrcA | 1<<in.PSrcB
+	}
+	if in.Op == isa.OpPAND {
+		ps |= 1 << in.PSrcB
 	}
 	return ps
 }
 
 // writtenPred returns the predicate register an instruction defines.
 func writtenPred(in *isa.Instr) (uint8, bool) {
-	switch in.Op {
-	case isa.OpSETP, isa.OpPAND, isa.OpPNOT:
+	if in.Op == isa.OpSETP || in.Op == isa.OpPAND || in.Op == isa.OpPNOT {
 		return in.PDst, true
 	}
 	return 0, false

@@ -1,0 +1,122 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"warped/internal/verify"
+)
+
+// TestSharedBounds drives the interval analysis behind rule (g):
+// provable overruns are errors, everything merely possible stays
+// silent, and kernels without a .shared declaration skip the rule.
+func TestSharedBounds(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantOOB bool
+		wantMsg string
+	}{
+		{
+			name: "immediate address overruns",
+			src: `.kernel k
+.reg 4
+.shared 16
+mov r0, 1
+st.shared [16], r0
+exit`,
+			wantOOB: true,
+			wantMsg: "address 16 overruns the declared .shared size 16",
+		},
+		{
+			name: "register base overruns",
+			src: `.kernel k
+.reg 4
+.shared 16
+mov r1, 32
+st.shared [r1], r1
+exit`,
+			wantOOB: true,
+			wantMsg: "address 32 overruns",
+		},
+		{
+			name: "computed chain overruns",
+			src: `.kernel k
+.reg 4
+.shared 16
+mov r1, 4
+shl r1, r1, 2
+ld.shared r2, [r1]
+exit`,
+			wantOOB: true,
+		},
+		{
+			name: "offset pushes base past the end",
+			src: `.kernel k
+.reg 4
+.shared 2048
+mov r1, 0
+ld.shared r2, [r1+2048]
+exit`,
+			wantOOB: true,
+		},
+		{
+			name: "immediate in bounds (clean)",
+			src: `.kernel k
+.reg 4
+.shared 16
+mov r0, 1
+st.shared [12], r0
+exit`,
+		},
+		{
+			name: "tid-derived address is unknown (clean)",
+			src: `.kernel k
+.reg 4
+.shared 16
+mov r0, 1
+st.shared [%tid.x], r0
+exit`,
+		},
+		{
+			name: "counted loop widens without false positive (clean)",
+			src: `.kernel k
+.reg 4
+.shared 16
+mov r0, 0
+LOOP:
+st.shared [r0], r0
+iadd r0, r0, 4
+setp.lt.s32 p0, r0, 16
+@p0 bra LOOP, LOOP
+exit`,
+		},
+		{
+			name: "no .shared declaration skips the rule (clean)",
+			src: `.kernel k
+.reg 4
+mov r0, 1
+st.shared [9996], r0
+exit`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := verify.Check(mustAsm(t, tc.src))
+			oob := findingsByRule(fs)[verify.RuleSharedBounds]
+			if tc.wantOOB {
+				if len(oob) == 0 {
+					t.Fatalf("want a %s error, got findings:\n%s", verify.RuleSharedBounds, fs)
+				}
+				if oob[0].Sev != verify.SevError {
+					t.Errorf("severity %v, want error", oob[0].Sev)
+				}
+				if tc.wantMsg != "" && !strings.Contains(oob[0].Msg, tc.wantMsg) {
+					t.Errorf("message %q does not contain %q", oob[0].Msg, tc.wantMsg)
+				}
+			} else if len(oob) != 0 {
+				t.Fatalf("unexpected %s findings:\n%s", verify.RuleSharedBounds, fs)
+			}
+		})
+	}
+}

@@ -66,11 +66,8 @@ func (c *checker) runUniformityFixpoint() {
 // specialDivergent reports whether a special register varies between
 // threads of one block.
 func specialDivergent(r isa.Reg) bool {
-	switch r {
-	case isa.RegTIDX, isa.RegTIDY, isa.RegLANEID, isa.RegWARPID:
-		return true
-	}
-	return false
+	return r == isa.RegTIDX || r == isa.RegTIDY ||
+		r == isa.RegLANEID || r == isa.RegWARPID
 }
 
 // operandDivergent evaluates an operand against the in-state.
@@ -123,6 +120,7 @@ func (c *checker) transferUniformity(pc int) (uint64, uint8) {
 		}
 	}
 
+	//simlint:ignore exhaustive-switch — memory and predicate ops have bespoke transfer functions; the default derives every data op's from opTable metadata (HasDst/NumSrc), so a new opcode is handled conservatively without a case
 	switch in.Op {
 	case isa.OpLD:
 		// Parameter space is read-only and identical for every thread:

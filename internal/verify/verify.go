@@ -27,6 +27,9 @@
 //	                   the classic GPU barrier-divergence hang (rule e)
 //	misalignment       sized (32-bit) loads/stores whose address is
 //	                   provably not 4-byte aligned (rule f)
+//	shared-bounds      shared-space accesses whose address interval
+//	                   provably overruns the declared .shared size
+//	                   (rule g; skipped when no .shared is declared)
 //
 // Deliberate rule refinements, tuned against the bundled kernels
 // (internal/kernels), which all verify clean:
@@ -100,6 +103,7 @@ const (
 	RuleDivergenceDepth  = "divergence-depth"
 	RuleDivergentBarrier = "divergent-barrier"
 	RuleMisalignment     = "misalignment"
+	RuleSharedBounds     = "shared-bounds"
 	RuleStructure        = "structure"
 )
 
@@ -192,6 +196,7 @@ func CheckWith(p *isa.Program, opt Options) Findings {
 	c.checkReconvergence()
 	c.checkDivergence()
 	c.checkAlignment()
+	c.checkSharedBounds()
 	sort.SliceStable(c.findings, func(i, j int) bool {
 		if c.findings[i].Line != c.findings[j].Line {
 			return c.findings[i].Line < c.findings[j].Line
@@ -267,6 +272,7 @@ func (c *checker) checkBounds() {
 		if !in.Pred.None {
 			checkPred(pc, in.Pred.Index, "guard")
 		}
+		//simlint:ignore exhaustive-switch — only SETP/SELP/PAND/PNOT carry predicate operands beyond the guard (checked above); every other op has none to validate
 		switch in.Op {
 		case isa.OpSETP:
 			checkPred(pc, in.PDst, "destination")
@@ -288,9 +294,7 @@ func (c *checker) checkBounds() {
 func (c *checker) checkAlignment() {
 	for pc := range c.p.Instrs {
 		in := &c.p.Instrs[pc]
-		switch in.Op {
-		case isa.OpLD, isa.OpST, isa.OpATOM:
-		default:
+		if in.Op.Unit() != isa.UnitLDST {
 			continue
 		}
 		if in.Src[0].IsImm {

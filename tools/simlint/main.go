@@ -1,0 +1,72 @@
+// Command simlint runs the simulator's static-analysis pass
+// (internal/lint) over the module and reports findings.
+//
+// Usage:
+//
+//	simlint [-json] [-o FILE] [-C DIR] [patterns...]
+//
+// Patterns are module-root-relative package selectors ("./...",
+// "internal/sim", "internal/..."); the default is "./...". Exit status
+// is 0 when clean, 1 when findings exist, 2 when the module cannot be
+// analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"warped/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON Lines instead of text")
+	outFile := fs.String("o", "", "write findings to FILE instead of stdout")
+	dir := fs.String("C", ".", "run as if started in DIR")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: simlint [-json] [-o FILE] [-C DIR] [patterns...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	findings, err := lint.Run(lint.Config{Dir: *dir, Patterns: fs.Args()})
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+
+	w := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "simlint: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	var werr error
+	if *jsonOut {
+		werr = findings.WriteJSONL(w)
+	} else {
+		werr = findings.WriteText(w)
+	}
+	if werr != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", werr)
+		return 2
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/lint/testdata"
+
+func TestExitCleanModule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", filepath.Join(fixtures, "clean"), "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean module; stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected output on clean module: %s", out.String())
+	}
+}
+
+// TestExitSeededFixtures checks simlint exits non-zero on every seeded
+// violation fixture — one per rule.
+func TestExitSeededFixtures(t *testing.T) {
+	for _, fx := range []string{"determinism", "exhaustive", "atomic", "nilmetrics", "ctxloop", "suppress"} {
+		t.Run(fx, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run([]string{"-C", filepath.Join(fixtures, fx), "./..."}, &out, &errb)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+			}
+			if out.Len() == 0 {
+				t.Fatal("no findings printed")
+			}
+		})
+	}
+}
+
+func TestExitLoadError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", filepath.Join(fixtures, "no-such-dir")}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d on unloadable dir, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-C", filepath.Join(fixtures, "determinism"), "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out.Bytes()))
+	n := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d is not JSON: %v", n+1, err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no JSONL findings emitted")
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-o", path, "-C", filepath.Join(fixtures, "determinism"), "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("findings leaked to stdout with -o: %s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading -o file: %v", err)
+	}
+	if !strings.Contains(string(data), `"rule":"determinism"`) {
+		t.Fatalf("-o file missing findings: %s", data)
+	}
+}
+
+// TestPatternScoping checks patterns narrow findings without skipping
+// the module load.
+func TestPatternScoping(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", filepath.Join(fixtures, "nilmetrics"), "internal/metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d linting only the clean package, want 0; out: %s", code, out.String())
+	}
+}
