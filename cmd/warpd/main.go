@@ -1,0 +1,123 @@
+// Command warpd is the simulation-as-a-service daemon: an HTTP/JSON
+// API that accepts simulation jobs (a bundled benchmark or an inline
+// kernel, plus config overrides and a fault campaign), executes them
+// on a bounded worker pool, and answers repeated submissions from a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	warpd -addr localhost:8080 -workers 4 -queue 64
+//
+// Identical jobs are executed once: duplicates coalesce onto the
+// in-flight execution and completed results are served from an
+// LRU-bounded cache. A full queue answers 429 with Retry-After;
+// SIGTERM/SIGINT drains gracefully — admission stops, /readyz flips
+// to 503, queued and in-flight jobs finish, metrics flush, then the
+// process exits. See docs/SERVICE.md for the API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"warped/internal/metrics"
+	"warped/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8080", "listen address")
+		workers    = flag.Int("workers", 0, "simulation concurrency (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "max accepted-but-not-started jobs before 429")
+		cacheSize  = flag.Int("cache", 256, "completed results retained for cache hits (LRU)")
+		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job wall-clock budget (0 = unlimited)")
+		drainWait  = flag.Duration("drain-timeout", 5*time.Minute, "max wait for in-flight jobs on shutdown")
+		metricsTo  = flag.String("metrics-out", "", "write the final metrics snapshot as JSON Lines to this file")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cacheSize, *jobTimeout, *drainWait, *metricsTo); err != nil {
+		fmt.Fprintf(os.Stderr, "warpd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cacheSize int, jobTimeout, drainWait time.Duration, metricsTo string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := metrics.New()
+	srv := service.New(service.Options{
+		Workers:      workers,
+		QueueDepth:   queue,
+		CacheEntries: cacheSize,
+		JobTimeout:   jobTimeout,
+		Metrics:      reg,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Printf("warpd: listening on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (readiness flips to 503), let the
+	// HTTP server finish responses in flight, run the accepted backlog
+	// to completion, then flush metrics. A second signal interrupts the
+	// wait and exits hard.
+	fmt.Println("warpd: draining...")
+	stop()
+	drainCtx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if drainWait > 0 {
+		var tcancel context.CancelFunc
+		drainCtx, tcancel = context.WithTimeout(drainCtx, drainWait)
+		defer tcancel()
+	}
+	drainErr := srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "warpd: http shutdown: %v\n", err)
+	}
+	if metricsTo != "" {
+		if err := writeMetrics(reg, metricsTo); err != nil {
+			fmt.Fprintf(os.Stderr, "warpd: %v\n", err)
+		}
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	fmt.Println("warpd: drained, exiting")
+	return nil
+}
+
+// writeMetrics flushes the final snapshot as JSON Lines.
+func writeMetrics(reg *metrics.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -207,7 +207,7 @@ func runCustom(ctx context.Context, cfg warped.Config, path, grid, block string,
 	if err != nil {
 		return err
 	}
-	prog, err := warped.Assemble(string(src))
+	prog, err := warped.AssembleNamed(path, string(src))
 	if err != nil {
 		return err
 	}

@@ -27,13 +27,23 @@ import (
 	"warped/internal/verify"
 )
 
-// Error describes an assembly failure with source position.
+// Error describes an assembly failure with source position. File is
+// the caller-supplied source name from AssembleNamed ("" for the
+// anonymous Assemble entry points, rendered as the historical "asm"
+// prefix).
 type Error struct {
+	File string
 	Line int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	name := e.File
+	if name == "" {
+		name = "asm"
+	}
+	return fmt.Sprintf("%s: line %d: %s", name, e.Line, e.Msg)
+}
 
 func errf(line int, format string, args ...any) error {
 	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
@@ -41,6 +51,26 @@ func errf(line int, format string, args ...any) error {
 
 // Assemble parses and assembles one kernel from source text.
 func Assemble(src string) (*isa.Program, error) {
+	return AssembleNamed("", src)
+}
+
+// AssembleNamed is Assemble with a caller-supplied source name carried
+// into every error message: the file the source was read from, or a
+// synthetic origin such as "job:3f9c…" for inline source submitted over
+// the network. An empty name keeps the anonymous "asm:" prefix.
+func AssembleNamed(name, src string) (*isa.Program, error) {
+	p, err := assemble(src)
+	if err != nil {
+		if ae, ok := err.(*Error); ok && name != "" {
+			ae.File = name
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// assemble parses and assembles one kernel from source text.
+func assemble(src string) (*isa.Program, error) {
 	p := &isa.Program{Labels: make(map[string]int)}
 
 	type pending struct {
@@ -200,14 +230,21 @@ func MustAssemble(src string) *isa.Program {
 
 // VerifyError reports static-verification findings from
 // AssembleVerified. The assembled program is still available to callers
-// that want to run it anyway (the -lint=off escape hatch).
+// that want to run it anyway (the -lint=off escape hatch). File is the
+// caller-supplied source name from AssembleVerifiedNamed ("" keeps the
+// historical "asm" prefix).
 type VerifyError struct {
+	File     string
 	Kernel   string
 	Findings verify.Findings
 }
 
 func (e *VerifyError) Error() string {
-	return fmt.Sprintf("asm: kernel %q failed verification:\n%s", e.Kernel, e.Findings)
+	name := e.File
+	if name == "" {
+		name = "asm"
+	}
+	return fmt.Sprintf("%s: kernel %q failed verification:\n%s", name, e.Kernel, e.Findings)
 }
 
 // AssembleVerified assembles one kernel and runs the static verifier
@@ -215,12 +252,18 @@ func (e *VerifyError) Error() string {
 // barriers, misaligned accesses, ...) are returned as a *VerifyError
 // alongside the program; warning-only programs assemble cleanly.
 func AssembleVerified(src string) (*isa.Program, error) {
-	p, err := Assemble(src)
+	return AssembleVerifiedNamed("", src)
+}
+
+// AssembleVerifiedNamed is AssembleVerified with a caller-supplied
+// source name threaded into both assembly and verification errors.
+func AssembleVerifiedNamed(name, src string) (*isa.Program, error) {
+	p, err := AssembleNamed(name, src)
 	if err != nil {
 		return nil, err
 	}
 	if fs := verify.Check(p); fs.Errors() > 0 {
-		return p, &VerifyError{Kernel: p.Name, Findings: fs}
+		return p, &VerifyError{File: name, Kernel: p.Name, Findings: fs}
 	}
 	return p, nil
 }

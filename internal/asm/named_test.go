@@ -1,0 +1,67 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestAssembleNamedError: the caller-supplied source name leads every
+// assembly diagnostic, so a service can stamp errors with the job that
+// carried the kernel.
+func TestAssembleNamedError(t *testing.T) {
+	_, err := AssembleNamed("job:jdeadbeef", ".kernel k\n\tbogus r0\n")
+	if err == nil {
+		t.Fatal("expected an assembly error")
+	}
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if ae.File != "job:jdeadbeef" {
+		t.Errorf("Error.File = %q", ae.File)
+	}
+	if want := "job:jdeadbeef: line 2:"; !strings.HasPrefix(err.Error(), want) {
+		t.Errorf("error %q does not start with %q", err, want)
+	}
+}
+
+// TestAssembleAnonymousErrorUnchanged: the historical "asm:" prefix of
+// the anonymous entry points is part of the API surface — existing
+// callers grep for it.
+func TestAssembleAnonymousErrorUnchanged(t *testing.T) {
+	_, err := Assemble(".kernel k\n\tbogus r0\n")
+	if err == nil {
+		t.Fatal("expected an assembly error")
+	}
+	if want := "asm: line 2:"; !strings.HasPrefix(err.Error(), want) {
+		t.Errorf("error %q does not start with %q", err, want)
+	}
+}
+
+// TestAssembleVerifiedNamedError: verification failures carry the name
+// too.
+func TestAssembleVerifiedNamedError(t *testing.T) {
+	// r1 is read before any definition: assembles fine, fails the
+	// static verifier.
+	src := ".kernel k\n\tiadd r0, r1, 1\n\texit\n"
+	_, err := AssembleVerifiedNamed("job:j1234", src)
+	if err == nil {
+		t.Fatal("expected a verification error")
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error type %T, want *VerifyError", err)
+	}
+	if ve.File != "job:j1234" {
+		t.Errorf("VerifyError.File = %q", ve.File)
+	}
+	if !strings.HasPrefix(err.Error(), "job:j1234: ") {
+		t.Errorf("error %q does not carry the source name", err)
+	}
+	// The anonymous form keeps its historical prefix.
+	_, err = AssembleVerified(src)
+	if err == nil || !strings.HasPrefix(err.Error(), "asm: ") {
+		t.Errorf("anonymous verify error = %v, want asm: prefix", err)
+	}
+}

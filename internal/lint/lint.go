@@ -124,7 +124,7 @@ type Config struct {
 	Deterministic []string
 
 	// CtxChecked lists import paths under the ctx-loop rule. Nil selects
-	// internal/runner and internal/sim.
+	// internal/runner, internal/sim and internal/service.
 	CtxChecked []string
 
 	// RegistryTypes lists fully-qualified type names ("path.Name") whose
@@ -146,7 +146,11 @@ func (c Config) withDefaults(modPath string) Config {
 		}
 	}
 	if c.CtxChecked == nil {
-		c.CtxChecked = []string{modPath + "/internal/runner", modPath + "/internal/sim"}
+		c.CtxChecked = []string{
+			modPath + "/internal/runner",
+			modPath + "/internal/sim",
+			modPath + "/internal/service",
+		}
 	}
 	if c.RegistryTypes == nil {
 		c.RegistryTypes = []string{modPath + "/internal/metrics.Registry"}

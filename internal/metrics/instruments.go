@@ -182,6 +182,12 @@ type Run struct {
 	// now; its high-water mark is the peak pool utilization.
 	WorkersBusy *Gauge
 
+	// QueueDepth tracks how many accepted tasks are waiting for a
+	// worker (persistent Pool only; Map hands indices out directly and
+	// never moves this gauge). Its high-water mark is the deepest
+	// backlog the pool absorbed without rejecting work.
+	QueueDepth *Gauge
+
 	// TaskLatencyMS histograms per-task wall-clock latency. Wall-clock
 	// values vary run to run: they are operational data, not part of
 	// the deterministic simulation output.
@@ -197,6 +203,58 @@ func ForRunner(r *Registry) *Run {
 		TasksFailed:    r.Counter("runner.tasks_failed_total"),
 		TaskPanics:     r.Counter("runner.task_panics_total"),
 		WorkersBusy:    r.Gauge("runner.workers_busy"),
+		QueueDepth:     r.Gauge("runner.queue_depth"),
 		TaskLatencyMS:  r.Histogram("runner.task_latency_ms", LatencyMSBounds),
+	}
+}
+
+// Service is the pre-resolved instrument set of the simulation-as-a-
+// service daemon (internal/service, cmd/warpd). A Service built from a
+// nil registry no-ops throughout.
+type Service struct {
+	// Submission outcomes. JobsSubmitted counts every accepted POST
+	// (including ones answered from the cache or coalesced onto an
+	// in-flight job); JobsRejected counts submissions turned away by
+	// admission control (429) or during drain (503).
+	JobsSubmitted *Counter
+	JobsRejected  *Counter
+
+	// Execution outcomes: simulations actually started on the pool, and
+	// the subset that failed (assembly/validation/simulation errors and
+	// isolated panics). executed - failed = results now cacheable.
+	JobsExecuted *Counter
+	JobsFailed   *Counter
+
+	// Content-addressed cache behaviour. A hit serves a completed result
+	// without simulating; a coalesce attaches a duplicate submission to
+	// an in-flight execution; a miss schedules a fresh execution;
+	// evictions count completed entries dropped by the LRU bound.
+	CacheHits      *Counter
+	CacheMisses    *Counter
+	CacheCoalesced *Counter
+	CacheEvictions *Counter
+
+	// CacheEntries gauges the completed results currently retained.
+	CacheEntries *Gauge
+
+	// JobLatencyMS histograms queued-to-finished wall-clock latency of
+	// executed jobs (cache hits are not observed: they take no queue
+	// time). Operational data, never part of the simulation output.
+	JobLatencyMS *Histogram
+}
+
+// ForService resolves the service instrument set against r (nil-safe).
+func ForService(r *Registry) *Service {
+	return &Service{
+		JobsSubmitted:  r.Counter("service.jobs_submitted_total"),
+		JobsRejected:   r.Counter("service.jobs_rejected_total"),
+		JobsExecuted:   r.Counter("service.jobs_executed_total"),
+		JobsFailed:     r.Counter("service.jobs_failed_total"),
+		CacheHits:      r.Counter("service.cache_hits_total"),
+		CacheMisses:    r.Counter("service.cache_misses_total"),
+		CacheCoalesced: r.Counter("service.cache_coalesced_total"),
+		CacheEvictions: r.Counter("service.cache_evictions_total"),
+		CacheEntries:   r.Gauge("service.cache_entries"),
+		JobLatencyMS:   r.Histogram("service.job_latency_ms", LatencyMSBounds),
 	}
 }

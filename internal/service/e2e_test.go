@@ -1,0 +1,299 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"warped"
+	"warped/client"
+	"warped/internal/metrics"
+	"warped/internal/service"
+)
+
+// tinySrc is a near-instant inline kernel for coalescing/drain tests.
+const tinySrc = `
+.kernel tiny
+	mov  r0, %tid.x
+	iadd r1, r0, 1
+	exit
+`
+
+func newTestDaemon(t *testing.T, opt service.Options) (*service.Server, *client.Client, *httptest.Server) {
+	t.Helper()
+	srv := service.New(opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+	return srv, c, ts
+}
+
+// TestE2ECoalescingAndCache is the tentpole end-to-end check: N
+// concurrent identical submissions execute the simulation exactly
+// once, a later resubmission is answered from the cache, and the
+// daemon's stats are byte-identical to a direct library run of the
+// same canonical inputs.
+func TestE2ECoalescingAndCache(t *testing.T) {
+	reg := metrics.New()
+	_, c, _ := newTestDaemon(t, service.Options{Workers: 2, QueueDepth: 16, Metrics: reg})
+	ctx := context.Background()
+
+	spec := &client.JobSpec{Source: tinySrc}
+	const n = 8
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.Submit(ctx, spec)
+			if err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+				return
+			}
+			ids[i] = resp.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("submission %d got ID %s, submission 0 got %s: content addressing broke", i, ids[i], ids[0])
+		}
+	}
+	if _, err := c.Wait(ctx, ids[0]); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["service.jobs_executed_total"]; got != 1 {
+		t.Errorf("jobs_executed_total = %d after %d identical submissions, want 1", got, n)
+	}
+	if got := snap.Counters["service.cache_misses_total"]; got != 1 {
+		t.Errorf("cache_misses_total = %d, want 1", got)
+	}
+	if got := snap.Counters["service.cache_coalesced_total"] + snap.Counters["service.cache_hits_total"]; got != n-1 {
+		t.Errorf("coalesced+hits = %d, want %d", got, n-1)
+	}
+
+	// Resubmission after completion is a definite cache hit.
+	resp, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !resp.Cached || resp.Status != "done" {
+		t.Errorf("resubmit = %+v, want cached done", resp)
+	}
+	if got := reg.Snapshot().Counters["service.jobs_executed_total"]; got != 1 {
+		t.Errorf("jobs_executed_total = %d after resubmit, want still 1", got)
+	}
+}
+
+// TestE2EStatsMatchDirectRun: the daemon's answer for a benchmark job
+// must be byte-identical to what warped.Runner produces for the same
+// canonical inputs — caching must never change the science.
+func TestE2EStatsMatchDirectRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full MatrixMul run")
+	}
+	_, c, _ := newTestDaemon(t, service.Options{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+
+	resp, err := c.Submit(ctx, &client.JobSpec{Benchmark: "MatrixMul"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, err := c.Wait(ctx, resp.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	direct, err := (&warped.Runner{}).Run(ctx, "MatrixMul")
+	if err != nil {
+		t.Fatalf("direct Run: %v", err)
+	}
+	got, err := json.Marshal(res.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("service stats differ from direct run:\nservice: %s\ndirect:  %s", got, want)
+	}
+	if res.Attempts != direct.Attempts || res.Detections != direct.Detections {
+		t.Errorf("bookkeeping differs: service {%d %d}, direct {%d %d}",
+			res.Attempts, res.Detections, direct.Attempts, direct.Detections)
+	}
+}
+
+// TestE2EGracefulDrain: SIGTERM semantics — admission stops (503,
+// readiness flips), but every accepted job finishes; none are dropped.
+func TestE2EGracefulDrain(t *testing.T) {
+	reg := metrics.New()
+	srv, c, _ := newTestDaemon(t, service.Options{Workers: 1, QueueDepth: 16, Metrics: reg})
+	ctx := context.Background()
+
+	// Distinct jobs (different params) so each is a separate execution.
+	const n = 4
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		resp, err := c.Submit(ctx, &client.JobSpec{Source: tinySrc, Params: []uint32{uint32(i)}})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids[i] = resp.ID
+	}
+
+	if ready, err := c.Ready(ctx); err != nil || !ready {
+		t.Fatalf("Ready before drain = %v, %v; want true", ready, err)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if ready, err := c.Ready(ctx); err != nil || ready {
+		t.Fatalf("Ready during drain = %v, %v; want false", ready, err)
+	}
+
+	// Zero dropped jobs: every accepted submission reached done.
+	for i, id := range ids {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("Status %d: %v", i, err)
+		}
+		if st.Status != "done" {
+			t.Errorf("job %d (%s) = %s after drain, want done (error: %s)", i, id, st.Status, st.Error)
+		}
+	}
+	if got := reg.Snapshot().Counters["service.jobs_executed_total"]; got != n {
+		t.Errorf("jobs_executed_total = %d, want %d", got, n)
+	}
+
+	// New admissions are refused with the draining answer.
+	if _, err := c.Submit(ctx, &client.JobSpec{Source: tinySrc, Params: []uint32{99}}); !errors.Is(err, client.ErrDraining) {
+		t.Errorf("Submit during drain = %v, want ErrDraining", err)
+	}
+	// Health stays up while draining (the process is alive).
+	resp, err := http.Get(c.Base() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d during drain, want 200", resp.StatusCode)
+	}
+}
+
+// TestE2EBackpressure: a saturated daemon sheds load with 429 and the
+// client's retry loop eventually lands the job once capacity frees.
+func TestE2EBackpressure(t *testing.T) {
+	reg := metrics.New()
+	srv, c, _ := newTestDaemon(t, service.Options{Workers: 1, QueueDepth: 1, Metrics: reg})
+	ctx := context.Background()
+
+	// A job spec whose execution blocks until we release it is not
+	// expressible through the public API; instead saturate with slow-ish
+	// real jobs and verify the typed 429 surfaces when the queue is full.
+	var rejected bool
+	for i := 0; i < 64 && !rejected; i++ {
+		_, err := srv.Submit(&client.JobSpec{Source: tinySrc, Params: []uint32{uint32(i)}})
+		if errors.Is(err, service.ErrBusy) {
+			rejected = true
+		} else if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	if !rejected {
+		t.Skip("queue never saturated on this machine; backpressure path not reachable")
+	}
+	if got := reg.Snapshot().Counters["service.jobs_rejected_total"]; got == 0 {
+		t.Error("jobs_rejected_total = 0 after a rejection")
+	}
+	// The client-side retry must still land the job once workers catch up.
+	resp, err := c.Submit(ctx, &client.JobSpec{Source: tinySrc, Params: []uint32{1000}})
+	if err != nil {
+		t.Fatalf("Submit with retry: %v", err)
+	}
+	if _, err := c.Wait(ctx, resp.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+// TestE2EErrors: the API's failure answers — bad specs are 400, an
+// unknown job is 404, an unfinished job's result is 409.
+func TestE2EErrors(t *testing.T) {
+	_, c, ts := newTestDaemon(t, service.Options{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+
+	var apiErr *client.APIError
+	if _, err := c.Submit(ctx, &client.JobSpec{}); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty spec Submit = %v, want 400", err)
+	}
+	if _, err := c.Status(ctx, "jdeadbeefdeadbeef"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown Status = %v, want 404", err)
+	}
+	if _, err := c.Result(ctx, "jdeadbeefdeadbeef"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown Result = %v, want 404", err)
+	}
+
+	// A failing job (bad assembly) reports failed status with the
+	// job-addressed assembler error.
+	resp, err := c.Submit(ctx, &client.JobSpec{Source: ".kernel bad\n\tbogus r0\n"})
+	if err != nil {
+		t.Fatalf("Submit bad source: %v", err)
+	}
+	if _, err := c.Wait(ctx, resp.ID); err == nil {
+		t.Fatal("Wait on a failing job returned no error")
+	}
+	st, err := c.Status(ctx, resp.ID)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Status != "failed" || st.Error == "" {
+		t.Errorf("failed job status = %+v", st)
+	}
+	if want := "job:" + resp.ID; !contains(st.Error, want) {
+		t.Errorf("assembler error %q does not cite %q", st.Error, want)
+	}
+
+	// Unknown POST body fields are rejected.
+	r, err := http.Post(ts.URL+"/v1/jobs", "application/json", nil)
+	if err != nil {
+		t.Fatalf("empty POST: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty POST = %d, want 400", r.StatusCode)
+	}
+}
+
+// TestE2EBenchmarksEndpoint: the discovery endpoint lists the paper
+// suite and the extras.
+func TestE2EBenchmarksEndpoint(t *testing.T) {
+	_, c, _ := newTestDaemon(t, service.Options{Workers: 1})
+	names, err := c.Benchmarks(context.Background())
+	if err != nil {
+		t.Fatalf("Benchmarks: %v", err)
+	}
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"MatrixMul", "BitonicSort", "Reduce"} {
+		if !found[want] {
+			t.Errorf("benchmark list %v is missing %s", names, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,447 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"warped/internal/kernels"
+	"warped/internal/metrics"
+	"warped/internal/runner"
+	"warped/internal/stats"
+)
+
+// Typed admission errors, shared with the runner pool so callers (and
+// the HTTP layer) branch on one vocabulary.
+var (
+	// ErrDraining is returned by Submit once Drain has begun: the
+	// daemon finishes accepted work but admits nothing new (HTTP 503).
+	ErrDraining = runner.ErrPoolDraining
+
+	// ErrBusy is returned by Submit when the bounded job queue is at
+	// capacity (HTTP 429 + Retry-After).
+	ErrBusy = runner.ErrQueueFull
+)
+
+// jobState is the lifecycle of one job in the cache.
+type jobState int
+
+const (
+	stateQueued jobState = iota
+	stateRunning
+	stateDone
+	stateFailed
+)
+
+func (st jobState) String() string {
+	switch st {
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("jobState(%d)", int(st))
+	}
+}
+
+// job is one cache entry: the canonical work plus its lifecycle. The
+// entry exists from admission on, which is what makes the map double
+// as the coalescing mechanism — a duplicate submission finds the
+// in-flight entry and attaches instead of re-simulating.
+type job struct {
+	id       string
+	canon    *canonicalJob
+	state    jobState
+	result   *JobResult
+	errMsg   string
+	done     chan struct{} // closed when the job reaches done/failed
+	elem     *list.Element // LRU position; nil until completed
+	enqueued time.Time
+}
+
+// Options sizes a Server.
+type Options struct {
+	// Workers is the simulation concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+
+	// QueueDepth bounds accepted-but-not-started jobs; <= 0 means 64.
+	// Beyond it, Submit sheds load with ErrBusy.
+	QueueDepth int
+
+	// CacheEntries bounds the completed results retained for cache
+	// hits; <= 0 means 256. Least-recently-used entries are evicted
+	// (and re-run on resubmission).
+	CacheEntries int
+
+	// JobTimeout bounds one job's wall-clock execution (all attempts);
+	// 0 means no limit.
+	JobTimeout time.Duration
+
+	// Metrics, when non-nil, receives the service.* instrument set plus
+	// the runner.* pool telemetry and the sim/DMR counters of every
+	// executed job. It is also what GET /debug/metrics serves.
+	Metrics *metrics.Registry
+}
+
+// Server is the simulation-as-a-service engine behind cmd/warpd:
+// content-addressed result cache, in-flight coalescing, bounded
+// admission onto a runner pool, and a graceful drain. It is
+// transport-independent — Handler mounts the HTTP surface on top.
+type Server struct {
+	pool     *runner.Pool
+	reg      *metrics.Registry
+	met      *metrics.Service
+	timeout  time.Duration
+	cacheCap int
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	lru  *list.List // completed *job entries, most recently used first
+}
+
+// New builds a Server and starts its worker pool.
+func New(opt Options) *Server {
+	capEntries := opt.CacheEntries
+	if capEntries <= 0 {
+		capEntries = 256
+	}
+	return &Server{
+		pool: runner.NewPool(runner.PoolOptions{
+			Workers:    opt.Workers,
+			QueueDepth: opt.QueueDepth,
+			Metrics:    opt.Metrics,
+		}),
+		reg:      opt.Metrics,
+		met:      metrics.ForService(opt.Metrics),
+		timeout:  opt.JobTimeout,
+		cacheCap: capEntries,
+		jobs:     make(map[string]*job),
+		lru:      list.New(),
+	}
+}
+
+// SubmitResponse answers POST /v1/jobs.
+type SubmitResponse struct {
+	// ID is the job's content address; resubmitting the same work
+	// always yields the same ID.
+	ID string `json:"id"`
+
+	// Status is the job's lifecycle state: queued, running, done or
+	// failed.
+	Status string `json:"status"`
+
+	// Cached reports the submission was answered from a completed
+	// result without simulating.
+	Cached bool `json:"cached,omitempty"`
+
+	// Coalesced reports the submission attached to an identical job
+	// already queued or running.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// StatusResponse answers GET /v1/jobs/{id}.
+type StatusResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"` // failed jobs only
+}
+
+// ResultResponse answers GET /v1/jobs/{id}/result for a done job.
+type ResultResponse struct {
+	ID         string       `json:"id"`
+	Stats      *stats.Stats `json:"stats"`
+	Attempts   int          `json:"attempts"`
+	Recovered  bool         `json:"recovered"`
+	Detections int          `json:"detections"`
+}
+
+// Submit admits one job: a completed identical job is a cache hit, an
+// in-flight identical job coalesces, a fresh job is canonicalized and
+// queued. The error is ErrDraining or ErrBusy for admission refusals,
+// anything else is a spec validation failure.
+func (s *Server) Submit(spec *JobSpec) (*SubmitResponse, error) {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	id := IDFromHash(canon.Hash())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		switch j.state {
+		case stateDone:
+			s.met.JobsSubmitted.Inc()
+			s.met.CacheHits.Inc()
+			s.lru.MoveToFront(j.elem)
+			return &SubmitResponse{ID: id, Status: j.state.String(), Cached: true}, nil
+		case stateQueued, stateRunning:
+			s.met.JobsSubmitted.Inc()
+			s.met.CacheCoalesced.Inc()
+			return &SubmitResponse{ID: id, Status: j.state.String(), Coalesced: true}, nil
+		case stateFailed:
+			// Failures are never served as hits: drop the entry and
+			// re-admit below, so a transient failure (timeout, OOM-ish
+			// environment trouble) is retried by resubmission.
+			s.removeLocked(j)
+		}
+	}
+
+	j := &job{id: id, canon: canon, state: stateQueued,
+		done: make(chan struct{}), enqueued: time.Now()}
+	err = s.pool.Submit(
+		func() error { return s.runJob(j) },
+		func(err error) { s.finishJob(j, err) },
+	)
+	if err != nil {
+		s.met.JobsRejected.Inc()
+		return nil, err
+	}
+	s.jobs[id] = j
+	s.met.JobsSubmitted.Inc()
+	s.met.CacheMisses.Inc()
+	return &SubmitResponse{ID: id, Status: j.state.String()}, nil
+}
+
+// Status reports a job's lifecycle state; false when the ID is neither
+// in flight nor retained.
+func (s *Server) Status(id string) (*StatusResponse, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return &StatusResponse{ID: j.id, Status: j.state.String(), Error: j.errMsg}, true
+}
+
+// Result returns a done job's result. The boolean reports existence;
+// a nil response with existence means the job is not done yet (still
+// queued/running, or failed — check Status).
+func (s *Server) Result(id string) (*ResultResponse, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	if j.state != stateDone {
+		return nil, true
+	}
+	s.lru.MoveToFront(j.elem)
+	return &ResultResponse{
+		ID:         j.id,
+		Stats:      j.result.Stats,
+		Attempts:   j.result.Attempts,
+		Recovered:  j.result.Recovered,
+		Detections: j.result.Detections,
+	}, true
+}
+
+// Wait blocks until the job finishes (done or failed); false when the
+// ID is unknown.
+func (s *Server) Wait(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	<-j.done
+	return true
+}
+
+// Drain stops admission immediately (Submit returns ErrDraining, the
+// readiness probe flips to 503) and waits for every queued and
+// in-flight job to finish, or for ctx to fire. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.pool.Drain(ctx)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.pool.Draining() }
+
+// runJob executes one admitted job on a pool worker.
+func (s *Server) runJob(j *job) error {
+	s.mu.Lock()
+	j.state = stateRunning
+	s.mu.Unlock()
+	ctx := context.Background()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	res, err := j.canon.execute(ctx, j.id, s.reg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j.result = res
+	s.mu.Unlock()
+	return nil
+}
+
+// finishJob records the outcome (err may be a *runner.PanicError from
+// an isolated panic), moves the entry into the LRU ring, and enforces
+// the cache bound.
+func (s *Server) finishJob(j *job, err error) {
+	s.mu.Lock()
+	if err != nil {
+		j.state = stateFailed
+		j.errMsg = err.Error()
+		s.met.JobsFailed.Inc()
+	} else {
+		j.state = stateDone
+	}
+	s.met.JobsExecuted.Inc()
+	s.met.JobLatencyMS.Observe(time.Since(j.enqueued).Milliseconds())
+	j.elem = s.lru.PushFront(j)
+	for s.lru.Len() > s.cacheCap {
+		oldest := s.lru.Back()
+		s.removeLocked(oldest.Value.(*job))
+		s.met.CacheEvictions.Inc()
+	}
+	s.met.CacheEntries.Set(int64(s.lru.Len()))
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// removeLocked drops a completed entry from the map and LRU ring.
+// Caller holds s.mu.
+func (s *Server) removeLocked(j *job) {
+	delete(s.jobs, j.id)
+	if j.elem != nil {
+		s.lru.Remove(j.elem)
+		j.elem = nil
+	}
+	s.met.CacheEntries.Set(int64(s.lru.Len()))
+}
+
+// Handler mounts the HTTP surface: the /v1 job API, the health and
+// readiness probes, and the /debug operational endpoints (pprof,
+// expvar, metrics snapshot). See docs/SERVICE.md for the API
+// reference.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.Handle("/debug/", metrics.Handler(s.reg))
+	return mux
+}
+
+// maxSpecBytes bounds a POSTed job spec (inline kernels included); a
+// bigger body is a client error, not a reason to balloon the daemon.
+const maxSpecBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("service: reading body: %v", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("service: job spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "service: draining, not accepting jobs")
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "service: job queue is full, retry later")
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	case resp.Cached:
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	resp, ok := s.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("service: unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	resp, ok := s.Result(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("service: unknown job %q", id))
+		return
+	}
+	if resp == nil {
+		st, _ := s.Status(id)
+		if st != nil && st.Status == stateFailed.String() {
+			writeError(w, http.StatusInternalServerError,
+				fmt.Sprintf("service: job %s failed: %s", id, st.Error))
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Sprintf("service: job %s is not finished", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	names := kernels.Names()
+	for _, b := range kernels.Extras() {
+		names = append(names, b.Name)
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"benchmarks": names})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error envelope of the API.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}

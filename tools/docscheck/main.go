@@ -1,8 +1,9 @@
-// Command docscheck keeps the documentation honest in CI. It has two
+// Command docscheck keeps the documentation honest in CI. It has three
 // modes:
 //
-//	docscheck README.md docs/*.md     # check markdown links and code refs
-//	docscheck -jsonl metrics.jsonl    # validate a JSON Lines file
+//	docscheck README.md docs/*.md         # check markdown links and code refs
+//	docscheck -jsonl metrics.jsonl        # validate a JSON Lines file
+//	docscheck -jobspecs docs/SERVICE.md   # validate documented job specs
 //
 // In markdown mode every inline link target that is not an external
 // URL or a pure in-page anchor must resolve to an existing file or
@@ -14,6 +15,13 @@
 // the shape the metrics Snapshot.WriteJSONL and the JSONL trace writer
 // emit. Used by CI to assert that `warpsim -metrics-out` produced
 // machine-readable output.
+//
+// In -jobspecs mode every fenced code block opened with "```json
+// jobspec" must parse and canonicalize as a warpd job spec (the schema
+// POST /v1/jobs enforces, including unknown-field rejection), so the
+// examples in docs/SERVICE.md cannot drift from the daemon. A file
+// with no tagged blocks fails: losing the tag must not silently skip
+// the check.
 package main
 
 import (
@@ -24,6 +32,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"warped/internal/service"
 )
 
 // linkRE matches inline markdown links and images: [text](target).
@@ -32,6 +42,7 @@ var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 
 func main() {
 	jsonl := flag.Bool("jsonl", false, "validate the arguments as JSON Lines files instead of markdown")
+	jobspecs := flag.Bool("jobspecs", false, "validate ```json jobspec blocks in the arguments against the warpd job-spec schema")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "docscheck: no files given")
@@ -42,9 +53,12 @@ func main() {
 	for _, path := range flag.Args() {
 		var errs []string
 		var err error
-		if *jsonl {
+		switch {
+		case *jsonl:
 			errs, err = checkJSONL(path)
-		} else {
+		case *jobspecs:
+			errs, err = checkJobSpecs(path)
+		default:
 			errs, err = checkMarkdown(path)
 		}
 		if err != nil {
@@ -96,6 +110,56 @@ func checkMarkdown(path string) ([]string, error) {
 			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
 				errs = append(errs, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
 			}
+		}
+	}
+	return errs, nil
+}
+
+// jobSpecBlocks extracts the fenced code blocks opened with
+// "```json jobspec", returning (startLine, body) pairs.
+func jobSpecBlocks(data string) [][2]string {
+	var blocks [][2]string
+	lines := strings.Split(data, "\n")
+	for i := 0; i < len(lines); i++ {
+		open := strings.TrimSpace(lines[i])
+		if open != "```json jobspec" {
+			continue
+		}
+		var body []string
+		start := i + 2 // 1-indexed first body line
+		for i++; i < len(lines); i++ {
+			if strings.TrimSpace(lines[i]) == "```" {
+				break
+			}
+			body = append(body, lines[i])
+		}
+		blocks = append(blocks, [2]string{fmt.Sprint(start), strings.Join(body, "\n")})
+	}
+	return blocks
+}
+
+// checkJobSpecs validates every tagged job-spec example in path
+// against the daemon's own parser and canonicalizer: the exact checks
+// POST /v1/jobs applies, unknown-field rejection included.
+func checkJobSpecs(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	blocks := jobSpecBlocks(string(data))
+	if len(blocks) == 0 {
+		return []string{fmt.Sprintf("%s: no ```json jobspec blocks found", path)}, nil
+	}
+	var errs []string
+	for _, b := range blocks {
+		line, body := b[0], b[1]
+		spec, err := service.ParseSpec([]byte(body))
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s:%s: %v", path, line, err))
+			continue
+		}
+		if _, err := spec.Canonicalize(); err != nil {
+			errs = append(errs, fmt.Sprintf("%s:%s: %v", path, line, err))
 		}
 	}
 	return errs, nil

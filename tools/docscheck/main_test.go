@@ -56,6 +56,64 @@ func TestCheckMarkdownRepoDocs(t *testing.T) {
 	}
 }
 
+// TestJobSpecBlocksExtraction: only blocks tagged "json jobspec" are
+// extracted; plain json blocks are ignored.
+func TestJobSpecBlocksExtraction(t *testing.T) {
+	doc := "pre\n```json jobspec\n{\"benchmark\": \"MatrixMul\"}\n```\n" +
+		"```json\n{\"not\": \"a jobspec\"}\n```\n" +
+		"```json jobspec\n{\n  \"benchmark\": \"BitonicSort\"\n}\n```\n"
+	blocks := jobSpecBlocks(doc)
+	if len(blocks) != 2 {
+		t.Fatalf("extracted %d blocks, want 2: %v", len(blocks), blocks)
+	}
+}
+
+// TestCheckJobSpecsValid: well-formed examples pass against the
+// daemon's own parser.
+func TestCheckJobSpecsValid(t *testing.T) {
+	path := write(t, t.TempDir(), "doc.md",
+		"```json jobspec\n{\"benchmark\": \"MatrixMul\", \"retry\": 3}\n```\n")
+	errs, err := checkJobSpecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 0 {
+		t.Errorf("errors on a valid spec: %v", errs)
+	}
+}
+
+// TestCheckJobSpecsCatches: schema drift fails — unknown fields,
+// invalid values, and a document that lost its tagged blocks.
+func TestCheckJobSpecsCatches(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": "```json jobspec\n{\"benchmark\": \"MatrixMul\", \"retries\": 3}\n```\n",
+		"bad benchmark": "```json jobspec\n{\"benchmark\": \"NotABenchmark\"}\n```\n",
+		"bad config":    "```json jobspec\n{\"benchmark\": \"MatrixMul\", \"config\": {\"dmr\": \"sideways\"}}\n```\n",
+		"no blocks":     "just prose, no tagged examples\n",
+	}
+	for name, doc := range cases {
+		errs, err := checkJobSpecs(write(t, t.TempDir(), "doc.md", doc))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(errs) == 0 {
+			t.Errorf("%s: no errors reported", name)
+		}
+	}
+}
+
+// TestCheckJobSpecsRepoDocs: the documented examples in docs/SERVICE.md
+// must validate — the in-process form of the CI docs job.
+func TestCheckJobSpecsRepoDocs(t *testing.T) {
+	errs, err := checkJobSpecs("../../docs/SERVICE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range errs {
+		t.Errorf("%s", e)
+	}
+}
+
 func TestCheckJSONL(t *testing.T) {
 	dir := t.TempDir()
 	good := write(t, dir, "good.jsonl", `{"name":"a","value":1}`+"\n"+`{"name":"b","value":2}`+"\n")

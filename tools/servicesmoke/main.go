@@ -1,0 +1,95 @@
+// Command servicesmoke is the CI smoke check of the warpd daemon: it
+// drives a running daemon through the typed Go client — readiness,
+// benchmark discovery, one real job, and a resubmission that must be
+// answered from the content-addressed cache. Process lifecycle
+// (starting warpd, SIGTERM, asserting a clean exit) stays in the CI
+// shell step; this tool only speaks the API.
+//
+// Usage:
+//
+//	servicesmoke -base http://127.0.0.1:PORT
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"warped/client"
+)
+
+func main() {
+	base := flag.String("base", "", "daemon base URL (e.g. http://127.0.0.1:8080)")
+	bench := flag.String("bench", "Reduce", "benchmark to submit")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	flag.Parse()
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "servicesmoke: -base is required")
+		os.Exit(2)
+	}
+	if err := run(*base, *bench, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "servicesmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servicesmoke: ok")
+}
+
+func run(base, bench string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := client.New(base)
+
+	// The daemon may still be binding when CI reaches us: poll readiness.
+	for {
+		if ready, err := c.Ready(ctx); err == nil && ready {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("daemon never became ready: %w", ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	names, err := c.Benchmarks(ctx)
+	if err != nil {
+		return fmt.Errorf("benchmarks: %w", err)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("benchmark list is empty")
+	}
+
+	spec := &client.JobSpec{Benchmark: bench}
+	first, err := c.Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if first.Cached {
+		return fmt.Errorf("first submission of %s answered from cache (%+v): daemon is not fresh", bench, first)
+	}
+	res, err := c.Wait(ctx, first.ID)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if res.Stats == nil || res.Stats.Cycles == 0 {
+		return fmt.Errorf("job %s produced empty stats: %+v", first.ID, res)
+	}
+
+	// The whole point of the daemon: resubmitting identical work is a
+	// cache hit with the same ID and no second execution.
+	second, err := c.Submit(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("resubmit: %w", err)
+	}
+	if second.ID != first.ID {
+		return fmt.Errorf("resubmission changed ID: %s then %s", first.ID, second.ID)
+	}
+	if !second.Cached {
+		return fmt.Errorf("resubmission was not a cache hit: %+v", second)
+	}
+	fmt.Printf("servicesmoke: %s ran in %d cycles, resubmit hit cache (id %s)\n",
+		bench, res.Stats.Cycles, first.ID)
+	return nil
+}

@@ -180,6 +180,11 @@ func NewGPUWithMemory(cfg Config, memBytes int) (*GPU, error) { return sim.New(c
 // Assemble compiles PTX-like assembly source into a kernel program.
 func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
 
+// AssembleNamed is Assemble with a caller-supplied source name (a file
+// path, a job ID, ...) prefixed to every assembly diagnostic, so an
+// error can be traced to the artifact that carried the bad kernel.
+func AssembleNamed(name, src string) (*Program, error) { return asm.AssembleNamed(name, src) }
+
 // Static verification (lint) types, re-exported from internal/verify.
 type (
 	// Finding is one static-verifier diagnostic.
@@ -198,6 +203,12 @@ type (
 // misaligned accesses, ...). The program is returned even on
 // verification failure so callers can inspect it.
 func AssembleVerified(src string) (*Program, error) { return asm.AssembleVerified(src) }
+
+// AssembleVerifiedNamed is AssembleVerified with a caller-supplied
+// source name prefixed to every assembly and verification diagnostic.
+func AssembleVerifiedNamed(name, src string) (*Program, error) {
+	return asm.AssembleVerifiedNamed(name, src)
+}
 
 // Verify runs the static kernel verifier over an assembled program and
 // returns every finding, ordered by source line.
