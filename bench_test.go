@@ -67,11 +67,13 @@ func BenchmarkFig8bRAWDistance(b *testing.B) {
 }
 
 func BenchmarkFig9aCoverage(b *testing.B) {
+	var warpInstrs int64
 	for i := 0; i < b.N; i++ {
 		r, err := RunFig9a()
 		if err != nil {
 			b.Fatal(err)
 		}
+		warpInstrs += r.WarpInstrs
 		if i == 0 {
 			a4, a8, ax := r.Averages()
 			b.Logf("\n%s", r.Table().String())
@@ -80,20 +82,24 @@ func BenchmarkFig9aCoverage(b *testing.B) {
 			b.ReportMetric(100*ax, "%covCross")
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(warpInstrs), "ns/warpinstr")
 }
 
 func BenchmarkFig9bReplayQOverhead(b *testing.B) {
+	var warpInstrs int64
 	for i := 0; i < b.N; i++ {
 		r, err := RunFig9b()
 		if err != nil {
 			b.Fatal(err)
 		}
+		warpInstrs += r.WarpInstrs
 		if i == 0 {
 			avg := r.Averages()
 			b.Logf("\n%s", r.Table().String())
 			b.ReportMetric(avg[len(avg)-1], "x-overhead-q10")
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(warpInstrs), "ns/warpinstr")
 }
 
 func BenchmarkFig10EndToEnd(b *testing.B) {

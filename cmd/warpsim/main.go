@@ -9,10 +9,12 @@
 //	warpsim -list
 //	warpsim lint             # statically verify every bundled kernel
 //	warpsim lint my.asm      # statically verify kernel files
+//	warpsim lint -json       # findings as a JSON array for CI archiving
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -26,6 +28,7 @@ import (
 
 	"warped"
 	"warped/internal/asm"
+	"warped/internal/isa"
 	"warped/internal/kernels"
 	"warped/internal/stats"
 	"warped/internal/trace"
@@ -211,15 +214,6 @@ func runCustom(ctx context.Context, cfg warped.Config, path, grid, block string,
 	if err != nil {
 		return err
 	}
-	if lint {
-		fs := warped.Verify(prog)
-		if fs.Errors() > 0 {
-			fmt.Fprint(os.Stderr, fs.Dump(path))
-			return fmt.Errorf("kernel %q failed static verification with %d error(s) (use -lint=off to run anyway)",
-				prog.Name, fs.Errors())
-		}
-		fmt.Fprint(os.Stderr, fs.Dump(path)) // surviving findings are warnings
-	}
 	gx, gy, err := parseDims(grid)
 	if err != nil {
 		return fmt.Errorf("bad -grid: %w", err)
@@ -227,6 +221,18 @@ func runCustom(ctx context.Context, cfg warped.Config, path, grid, block string,
 	bx, by, err := parseDims(block)
 	if err != nil {
 		return fmt.Errorf("bad -block: %w", err)
+	}
+	if lint {
+		// Verify against the actual launch geometry: that arms the
+		// tid-aware shared-bounds/race rules even when the kernel
+		// declares no .block of its own.
+		fs := warped.VerifyWith(prog, warped.VerifyOptions{BlockDimX: bx, BlockDimY: by})
+		if fs.Errors() > 0 {
+			fmt.Fprint(os.Stderr, fs.Dump(path))
+			return fmt.Errorf("kernel %q failed static verification with %d error(s) (use -lint=off to run anyway)",
+				prog.Name, fs.Errors())
+		}
+		fmt.Fprint(os.Stderr, fs.Dump(path)) // surviving findings are warnings
 	}
 	var words []uint32
 	if paramList != "" {
@@ -364,49 +370,114 @@ func parseLintMode(s string) (bool, error) {
 	return false, fmt.Errorf("unknown -lint %q (want on or off)", s)
 }
 
+// lintRecord is one verifier finding in `warpsim lint -json` output.
+// The struct declaration order IS the output field order — CI archives
+// these, so keep it stable.
+type lintRecord struct {
+	File     string `json:"file"`
+	Kernel   string `json:"kernel"`
+	Line     int    `json:"line"`
+	Severity string `json:"severity"`
+	Rule     string `json:"rule"`
+	Message  string `json:"message"`
+}
+
 // runLint implements the `warpsim lint` subcommand: statically verify
 // kernel files (or, with no arguments, every bundled kernel) and print
-// findings in the greppable file:line: severity: rule: message format.
-// The exit status is 0 only when no finding of any severity remains.
-func runLint(files []string) int {
-	if len(files) == 0 {
-		if err := kernels.LintAll(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		fmt.Printf("warpsim lint: %d bundled kernels verify clean\n", len(kernels.Sources()))
-		return 0
+// findings in the greppable file:line: severity: rule: message format,
+// or as a JSON array (one finding per element) with -json. The exit
+// status is 0 only when no finding of any severity remains, 2 when an
+// input cannot be read or assembled.
+func runLint(args []string) int {
+	lintFlags := flag.NewFlagSet("lint", flag.ContinueOnError)
+	lintFlags.SetOutput(os.Stderr)
+	jsonOut := lintFlags.Bool("json", false, "emit findings as a JSON array instead of text")
+	lintFlags.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: warpsim lint [-json] [file.asm ...]")
+		lintFlags.PrintDefaults()
 	}
+	if err := lintFlags.Parse(args); err != nil {
+		return 2
+	}
+	files := lintFlags.Args()
+
+	type target struct {
+		file   string
+		kernel string
+		prog   *isa.Program
+	}
+	var targets []target
 	status := 0
-	kernelCount := 0
-	for _, path := range files {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "warpsim lint: %v\n", err)
-			status = 1
-			continue
+	if len(files) == 0 {
+		for _, s := range kernels.Sources() {
+			p, err := asm.Assemble(s.Src)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", s.File, err)
+				status = 2
+				continue
+			}
+			targets = append(targets, target{s.File, s.Name, p})
 		}
-		progs, err := asm.AssembleModule(string(src))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-			status = 1
-			continue
-		}
-		names := make([]string, 0, len(progs))
-		for name := range progs {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			kernelCount++
-			if fs := verify.Check(progs[name]); len(fs) > 0 {
-				fmt.Print(fs.Dump(path))
-				status = 1
+	} else {
+		for _, path := range files {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "warpsim lint: %v\n", err)
+				status = 2
+				continue
+			}
+			progs, err := asm.AssembleModule(string(src))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				status = 2
+				continue
+			}
+			names := make([]string, 0, len(progs))
+			for name := range progs {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				targets = append(targets, target{path, name, progs[name]})
 			}
 		}
 	}
-	if status == 0 {
-		fmt.Printf("warpsim lint: %d kernel(s) verify clean\n", kernelCount)
+
+	records := []lintRecord{} // non-nil so -json prints [] when clean
+	for _, tg := range targets {
+		fs := verify.Check(tg.prog)
+		for _, f := range fs {
+			records = append(records, lintRecord{
+				File:     tg.file,
+				Kernel:   tg.kernel,
+				Line:     f.Line,
+				Severity: f.Sev.String(),
+				Rule:     f.Rule,
+				Message:  f.Msg,
+			})
+		}
+		if len(fs) > 0 {
+			if status == 0 {
+				status = 1
+			}
+			if !*jsonOut {
+				fmt.Print(fs.Dump(tg.file))
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "warpsim lint: %v\n", err)
+			return 2
+		}
+	} else if status == 0 {
+		if len(files) == 0 {
+			fmt.Printf("warpsim lint: %d bundled kernels verify clean\n", len(targets))
+		} else {
+			fmt.Printf("warpsim lint: %d kernel(s) verify clean\n", len(targets))
+		}
 	}
 	return status
 }

@@ -68,7 +68,9 @@ func TestRunLintBadFile(t *testing.T) {
 	if status := runLint([]string{path}); status != 1 {
 		t.Fatalf("runLint(bad file) = %d, want 1", status)
 	}
-	if status := runLint([]string{filepath.Join(dir, "missing.asm")}); status != 1 {
-		t.Fatalf("runLint(missing file) = %d, want 1", status)
+	// Unreadable input is an operational failure, not a finding: exit 2,
+	// mirroring simlint's 0/1/2 contract so CI can tell the cases apart.
+	if status := runLint([]string{filepath.Join(dir, "missing.asm")}); status != 2 {
+		t.Fatalf("runLint(missing file) = %d, want 2", status)
 	}
 }

@@ -6,6 +6,9 @@
 //
 //	.kernel name          directive: kernel name
 //	.reg N                directive: number of GPRs the kernel uses
+//	.shared N             directive: shared-memory bytes per block
+//	.block X [Y]          directive: worst-case launch block dims, used
+//	                      by the thread-symbolic verifier rules
 //	label:                labels, one per line or preceding an instruction
 //	@p0 iadd r1, r2, 5    optional guard predicate, mnemonic, operands
 //	@!p1 bra TOP          negated guard; branches take label operands
@@ -129,6 +132,22 @@ func assemble(src string) (*isa.Program, error) {
 					return nil, errf(line, ".shared count must be non-negative")
 				}
 				p.SharedBytes = n
+			case ".block":
+				if len(fields) != 2 && len(fields) != 3 {
+					return nil, errf(line, ".block wants X [Y] dimensions")
+				}
+				bx, err := strconv.Atoi(fields[1])
+				if err != nil || bx < 1 {
+					return nil, errf(line, ".block X must be a positive thread count")
+				}
+				by := 1
+				if len(fields) == 3 {
+					by, err = strconv.Atoi(fields[2])
+					if err != nil || by < 1 {
+						return nil, errf(line, ".block Y must be a positive thread count")
+					}
+				}
+				p.BlockDimX, p.BlockDimY = bx, by
 			default:
 				return nil, errf(line, "unknown directive %q", fields[0])
 			}

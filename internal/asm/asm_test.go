@@ -331,6 +331,25 @@ func TestSharedDirective(t *testing.T) {
 	}
 }
 
+func TestBlockDirective(t *testing.T) {
+	p := mustAsm(t, ".kernel k\n.block 16 16\n\tmov r0, 1\n\texit\n")
+	if p.BlockDimX != 16 || p.BlockDimY != 16 {
+		t.Errorf("BlockDim = %dx%d, want 16x16", p.BlockDimX, p.BlockDimY)
+	}
+	p = mustAsm(t, ".kernel k\n.block 256\n\texit\n")
+	if p.BlockDimX != 256 || p.BlockDimY != 1 {
+		t.Errorf("BlockDim = %dx%d, want 256x1", p.BlockDimX, p.BlockDimY)
+	}
+	if !strings.Contains(p.Disassemble(), ".block 256 1") {
+		t.Errorf("disassembly lost the .block declaration:\n%s", p.Disassemble())
+	}
+	for _, bad := range []string{".block", ".block 0", ".block x", ".block 4 0", ".block 4 4 4"} {
+		if _, err := Assemble(".kernel k\n" + bad + "\n\texit\n"); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
 func TestAssembleModule(t *testing.T) {
 	mod, err := AssembleModule(`
 ; two kernels in one file

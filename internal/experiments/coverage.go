@@ -19,6 +19,11 @@ type Fig9aResult struct {
 	Cov4     []float64 // 4-lane cluster, linear mapping
 	Cov8     []float64 // 8-lane cluster, linear mapping
 	CovCross []float64 // 4-lane cluster, cluster round-robin mapping
+
+	// WarpInstrs totals the issued warp-instructions over the whole
+	// campaign grid (every variant × every benchmark), so wall time per
+	// warp-instruction is a derivable figure of merit for the simulator.
+	WarpInstrs int64
 }
 
 // Averages returns the three benchmark-average coverages.
@@ -53,7 +58,19 @@ func (e *Engine) Fig9a(ctx context.Context) (*Fig9aResult, error) {
 		r.Cov8 = append(r.Cov8, res[1][bi].Coverage())
 		r.CovCross = append(r.CovCross, res[2][bi].Coverage())
 	}
+	r.WarpInstrs = gridWarpInstrs(res)
 	return r, nil
+}
+
+// gridWarpInstrs sums issued warp-instructions over a campaign grid.
+func gridWarpInstrs(res [][]*stats.Stats) int64 {
+	var n int64
+	for _, row := range res {
+		for _, s := range row {
+			n += s.WarpInstrs
+		}
+	}
+	return n
 }
 
 // Table renders the Fig. 9a data.
@@ -78,6 +95,10 @@ var Fig9bSizes = []int{0, 1, 5, 10}
 type Fig9bResult struct {
 	Names      []string
 	Normalized [][]float64 // [benchmark][size index]
+
+	// WarpInstrs totals the issued warp-instructions over the whole
+	// campaign grid (baseline + every ReplayQ size × every benchmark).
+	WarpInstrs int64
 }
 
 // Averages returns the per-size benchmark averages.
@@ -118,6 +139,7 @@ func (e *Engine) Fig9b(ctx context.Context) (*Fig9bResult, error) {
 			r.Normalized[bi][si] = float64(res[si+1][bi].Cycles) / float64(base[bi].Cycles)
 		}
 	}
+	r.WarpInstrs = gridWarpInstrs(res)
 	return r, nil
 }
 

@@ -242,6 +242,8 @@ type Program struct {
 	Instrs      []Instr
 	NumRegs     int            // GPRs actually used (from .reg or inferred)
 	SharedBytes int            // declared shared-memory demand (.shared)
+	BlockDimX   int            // declared worst-case block width (.block), 0 = undeclared
+	BlockDimY   int            // declared worst-case block height (.block), 0 = undeclared
 	Labels      map[string]int // label -> PC, for diagnostics
 }
 
@@ -280,6 +282,12 @@ func (p *Program) Disassemble() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, ".kernel %s\n.reg %d\n", p.Name, p.NumRegs)
+	if p.SharedBytes > 0 {
+		fmt.Fprintf(&b, ".shared %d\n", p.SharedBytes)
+	}
+	if p.BlockDimX > 0 {
+		fmt.Fprintf(&b, ".block %d %d\n", p.BlockDimX, p.BlockDimY)
+	}
 	for pc := range p.Instrs {
 		for _, l := range byPC[pc] {
 			fmt.Fprintf(&b, "%s:\n", l)

@@ -20,6 +20,7 @@ const bitonicN = 512
 const bitonicSrc = `
 .kernel bitonic
 .shared 2048
+.block 512
 	mov  r0, %tid.x
 	ld.param r1, [0]            ; data
 	ld.param r2, [4]            ; n

@@ -36,6 +36,7 @@ func buildFFTSrc() string {
 	b.WriteString(`
 .kernel fft256
 .shared 2048
+.block 100
 	mov  r0, %tid.x
 	mov  r2, %ctaid.x
 	ld.param r3, [0]

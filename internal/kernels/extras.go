@@ -44,6 +44,7 @@ const reduceN = 8192
 const reduceSrc = `
 .kernel reduce_sum
 .shared 1024
+.block 256
 	mov  r0, %tid.x
 	mov  r1, %ctaid.x
 	mov  r2, %ntid.x
@@ -146,6 +147,7 @@ const (
 const transposeSrc = `
 .kernel transpose
 .shared 1088
+.block 16 16
 	mov  r0, %tid.x
 	mov  r1, %tid.y
 	mov  r2, %ctaid.x
@@ -248,6 +250,7 @@ const (
 const histogramSrc = `
 .kernel histogram
 .shared 256
+.block 256
 	mov  r0, %tid.x
 	mov  r1, %ctaid.x
 	mov  r2, %ntid.x

@@ -47,6 +47,36 @@ func TestBundledKernelsVerifyClean(t *testing.T) {
 	}
 }
 
+// TestSharedRaceArmed asserts the shared-race rule is actually running
+// on the bundled shared-memory kernels, not vacuously silent: every
+// kernel that declares .shared must also declare .block (the rule needs
+// launch geometry), and the full suite must pass rule (h) specifically.
+func TestSharedRaceArmed(t *testing.T) {
+	sharedKernels := 0
+	for _, s := range Sources() {
+		p, err := asm.Assemble(s.Src)
+		if err != nil {
+			t.Errorf("%s (%s): assemble: %v", s.File, s.Name, err)
+			continue
+		}
+		if p.SharedBytes > 0 {
+			sharedKernels++
+			if p.BlockDimX <= 0 {
+				t.Errorf("%s (%s): declares .shared %d but no .block geometry; shared-race cannot check it",
+					s.File, s.Name, p.SharedBytes)
+			}
+		}
+		for _, f := range verify.Check(p) {
+			if f.Rule == verify.RuleSharedRace {
+				t.Errorf("%s (%s): %s", s.File, s.Name, f)
+			}
+		}
+	}
+	if sharedKernels == 0 {
+		t.Error("no bundled kernel declares .shared; the clean-suite check is vacuous")
+	}
+}
+
 // TestLintAll exercises the aggregate entry point the CLIs use.
 func TestLintAll(t *testing.T) {
 	if err := LintAll(); err != nil {

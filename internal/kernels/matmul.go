@@ -44,6 +44,7 @@ func buildMatmulSrc() string {
 const matmulProlog = `
 .kernel matmul
 .shared 2048
+.block 16 16
 	mov r0, %tid.x
 	mov r1, %tid.y
 	mov r2, %ctaid.x

@@ -26,6 +26,7 @@ const (
 const scanBlockSrc = `
 .kernel scan_block
 .shared 2048
+.block 256
 	mov  r0, %tid.x
 	mov  r1, %ctaid.x
 	ld.param r2, [0]

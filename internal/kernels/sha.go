@@ -34,6 +34,7 @@ func buildShaSrc() string {
 	b.WriteString(`
 .kernel sha1
 .shared 4096
+.block 64
 	mov  r0, %ctaid.x
 	mov  r1, %ntid.x
 	imad r2, r0, r1, %tid.x     ; gtid

@@ -119,12 +119,16 @@ type Config struct {
 
 	// Deterministic lists import paths (exact, or "prefix/..." subtrees)
 	// under the determinism rule. Nil selects the simulator's
-	// deterministic core: internal/{sim,core,exec,simt,isa,mem,fault,
-	// experiments}.
+	// deterministic core — internal/{sim,core,exec,simt,isa,mem,fault,
+	// experiments} — plus the CI-artifact producers tools/simlint and
+	// tools/docscheck, whose outputs must be bit-reproducible across
+	// runs for artifact diffing to mean anything.
 	Deterministic []string
 
 	// CtxChecked lists import paths under the ctx-loop rule. Nil selects
-	// internal/runner, internal/sim and internal/service.
+	// internal/runner, internal/sim, internal/service and
+	// tools/servicesmoke (which polls a live daemon and must stay
+	// interruptible).
 	CtxChecked []string
 
 	// RegistryTypes lists fully-qualified type names ("path.Name") whose
@@ -144,12 +148,16 @@ func (c Config) withDefaults(modPath string) Config {
 		for _, p := range []string{"sim", "core", "exec", "simt", "isa", "mem", "fault", "experiments"} {
 			c.Deterministic = append(c.Deterministic, modPath+"/internal/"+p)
 		}
+		for _, p := range []string{"simlint", "docscheck"} {
+			c.Deterministic = append(c.Deterministic, modPath+"/tools/"+p)
+		}
 	}
 	if c.CtxChecked == nil {
 		c.CtxChecked = []string{
 			modPath + "/internal/runner",
 			modPath + "/internal/sim",
 			modPath + "/internal/service",
+			modPath + "/tools/servicesmoke",
 		}
 	}
 	if c.RegistryTypes == nil {

@@ -58,6 +58,12 @@ func (k *Kernel) Validate(cfg arch.Config) error {
 	case k.ThreadsPerBlock() > cfg.MaxThreadsPerSM:
 		return fmt.Errorf("sim: block of %d threads exceeds SM capacity %d",
 			k.ThreadsPerBlock(), cfg.MaxThreadsPerSM)
+	case k.Prog.BlockDimX > 0 && (k.BlockX > k.Prog.BlockDimX || k.BlockY > k.Prog.BlockDimY):
+		// .block declares the worst-case geometry the kernel was
+		// verified against; launching wider would outrun the static
+		// bounds/race analysis (smaller launches are fine).
+		return fmt.Errorf("sim: launch block %dx%d exceeds the program's declared .block %dx%d",
+			k.BlockX, k.BlockY, k.Prog.BlockDimX, k.Prog.BlockDimY)
 	case k.SharedBytes > cfg.SharedMemBytes:
 		return fmt.Errorf("sim: block shared memory %d exceeds SM capacity %d",
 			k.SharedBytes, cfg.SharedMemBytes)

@@ -536,6 +536,22 @@ LOOP:
 	}
 }
 
+// TestValidateDeclaredBlock: a launch wider than the program's .block
+// declaration escapes what the static verifier proved, so Validate
+// rejects it; launching narrower than declared is fine.
+func TestValidateDeclaredBlock(t *testing.T) {
+	prog := asm.MustAssemble(".kernel k\n.block 64\n\tmov r0, 1\n\texit\n")
+	cfg := arch.PaperConfig()
+	ok := &Kernel{Prog: prog, GridX: 1, GridY: 1, BlockX: 32, BlockY: 1}
+	if err := ok.Validate(cfg); err != nil {
+		t.Fatalf("narrower launch rejected: %v", err)
+	}
+	wide := &Kernel{Prog: prog, GridX: 1, GridY: 1, BlockX: 128, BlockY: 1}
+	if err := wide.Validate(cfg); err == nil {
+		t.Error("launch wider than the declared .block accepted")
+	}
+}
+
 // TestStopOnError: with StopOnError set, the first comparator mismatch
 // aborts the launch with ErrErrorDetected (the paper's raise-an-
 // exception handling for permanent faults).

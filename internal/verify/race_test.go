@@ -1,0 +1,195 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"warped/internal/verify"
+)
+
+// TestSharedRace drives rule (h): the two-thread witness search over
+// barrier intervals. Racy fixtures must fire; the carve-outs (atomic
+// pairs, intra-warp lockstep, read/read, barrier separation) and the
+// provable-only skips (no geometry, conditional regions) must not.
+func TestSharedRace(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantRace bool
+		wantMsg  string // substring of the first shared-race finding
+	}{
+		{
+			name: "inter-warp write/write on the same word",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+mov r0, %laneid
+shl r1, r0, 2
+mov r2, 7
+st.shared [r1], r2
+exit`,
+			wantRace: true,
+			wantMsg:  "thread 0 and thread 32 of a different warp",
+		},
+		{
+			name: "intra-warp lockstep write/write stays silent",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+mov r0, %warpid
+shl r1, r0, 2
+mov r2, 7
+st.shared [r1], r2
+exit`,
+		},
+		{
+			name: "read/write across a missing barrier",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+mov r0, %tid.x
+shl r1, r0, 2
+mov r2, 1
+st.shared [r1], r2
+ld.shared r3, [r1+4]
+exit`,
+			wantRace: true,
+			wantMsg:  "races with the ld",
+		},
+		{
+			name: "bar.sync separates the read from the write",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+mov r0, %tid.x
+shl r1, r0, 2
+mov r2, 1
+st.shared [r1], r2
+bar.sync
+ld.shared r3, [r1+4]
+exit`,
+		},
+		{
+			name: "atomic pair serializes (no false positive)",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+mov r2, 1
+atom.add.shared r3, [0], r2
+exit`,
+		},
+		{
+			name: "atomic against a plain store still races",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+mov r0, %tid.x
+setp.eq.s32 p0, r0, 0
+mov r2, 1
+atom.add.shared r3, [0], r2
+@p0 st.shared [0], r2
+exit`,
+			wantRace: true,
+			wantMsg:  "atom.add races with the st",
+		},
+		{
+			name: "read/read never races",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+ld.shared r3, [0]
+exit`,
+		},
+		{
+			name: "undeclared geometry disables the rule",
+			src: `.kernel k
+.reg 4
+.shared 512
+mov r0, %laneid
+shl r1, r0, 2
+mov r2, 7
+st.shared [r1], r2
+exit`,
+		},
+		{
+			name: "access inside a guarded branch region is not provable",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+mov r0, %tid.x
+setp.lt.s32 p0, r0, 32
+mov r2, 1
+@p0 bra SKIP, SKIP
+st.shared [0], r2
+SKIP:
+exit`,
+		},
+		{
+			name: "distinct strided words stay silent",
+			src: `.kernel k
+.reg 4
+.shared 512
+.block 64
+mov r0, %tid.x
+shl r1, r0, 2
+mov r2, 1
+st.shared [r1], r2
+ld.shared r3, [r1]
+exit`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := verify.Check(mustAsm(t, tc.src))
+			races := findingsByRule(fs)[verify.RuleSharedRace]
+			if tc.wantRace {
+				if len(races) == 0 {
+					t.Fatalf("want a %s error, got findings:\n%s", verify.RuleSharedRace, fs)
+				}
+				if races[0].Sev != verify.SevError {
+					t.Errorf("severity %v, want error", races[0].Sev)
+				}
+				if tc.wantMsg != "" && !strings.Contains(races[0].Msg, tc.wantMsg) {
+					t.Errorf("message %q does not contain %q", races[0].Msg, tc.wantMsg)
+				}
+			} else if len(races) != 0 {
+				t.Fatalf("unexpected %s findings:\n%s", verify.RuleSharedRace, fs)
+			}
+		})
+	}
+}
+
+// TestSharedRaceOptionsGeometry checks that Options-supplied geometry
+// arms the rule for programs with no .block declaration and overrides a
+// declared one.
+func TestSharedRaceOptionsGeometry(t *testing.T) {
+	src := `.kernel k
+.reg 4
+.shared 512
+mov r0, %laneid
+shl r1, r0, 2
+mov r2, 7
+st.shared [r1], r2
+exit`
+	p := mustAsm(t, src)
+	if fs := verify.Check(p); len(findingsByRule(fs)[verify.RuleSharedRace]) != 0 {
+		t.Fatalf("no geometry: want silent, got:\n%s", fs)
+	}
+	fs := verify.CheckWith(p, verify.Options{BlockDimX: 64})
+	if len(findingsByRule(fs)[verify.RuleSharedRace]) == 0 {
+		t.Fatalf("BlockDimX=64: want a %s error, got:\n%s", verify.RuleSharedRace, fs)
+	}
+	// A single warp's worth of threads is all lockstep: no race.
+	fs = verify.CheckWith(p, verify.Options{BlockDimX: 32})
+	if len(findingsByRule(fs)[verify.RuleSharedRace]) != 0 {
+		t.Fatalf("BlockDimX=32: want silent, got:\n%s", fs)
+	}
+}

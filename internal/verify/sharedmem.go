@@ -6,48 +6,28 @@ import (
 	"warped/internal/isa"
 )
 
-// Shared-memory bounds checking (rule g): a forward interval analysis
-// over GPR values catches ld.shared/st.shared/atom.shared accesses that
-// provably overrun the program's declared .shared size. The domain per
-// register is an unsigned interval [lo,hi] or ⊤ (unknown); constants
-// enter through immediates, propagate through the integer ALU ops, and
-// everything data-dependent (loads, specials like %tid, atomics, float
-// ops) is ⊤. Only accesses whose LOWEST possible address already
-// overruns the declaration are reported — an access that merely might
-// overrun (⊤ base, or a wide interval straddling the limit) stays
-// silent, which is what keeps the bundled kernels' tid-derived
-// addressing clean. Programs with no .shared declaration skip the rule
-// entirely: there is no declared budget to check against.
+// Shared-memory bounds checking (rule g) on the affine-in-tid domain
+// (affine.go). Two layers, both provable-only:
+//
+//   - Conservative (any geometry): if even the LOWEST address the
+//     access can take — minimized over every thread and every symbol —
+//     already overruns the declared .shared size, every executing
+//     thread overruns. This is the PR 4 interval check, with the
+//     affine domain's projection standing in for the old [lo,hi].
+//   - Tid-aware (declared geometry only): when the address is exact
+//     per thread and the access's guard is decidable, enumerate the
+//     block's threads and report the first whose concrete address
+//     escapes. This is what catches strided overruns like 4·%tid+c
+//     whose minimum (thread 0) is comfortably in bounds — the defect
+//     class the constant-interval domain provably missed.
+//
+// An access that merely MIGHT overrun (⊤ base, inexact loop-hulled
+// value, undecidable guard with no witness) stays silent, which is what
+// keeps the bundled kernels' tid-derived addressing clean. Programs
+// with no .shared declaration skip the rule entirely: there is no
+// declared budget to check against.
 
 const maxUint32 = int64(1)<<32 - 1
-
-// ival is one register's abstract value.
-type ival struct {
-	lo, hi int64
-	top    bool
-}
-
-func topIval() ival          { return ival{top: true} }
-func constIval(v int64) ival { return ival{lo: v, hi: v} }
-
-// norm collapses any bound escaping uint32 range to ⊤: the machine
-// wraps mod 2³², and modeling wraparound precisely buys nothing here.
-func (v ival) norm() ival {
-	if v.top || v.lo < 0 || v.hi > maxUint32 || v.lo > v.hi {
-		return topIval()
-	}
-	return v
-}
-
-func (v ival) isConst() bool { return !v.top && v.lo == v.hi }
-
-// hull joins two abstract values.
-func hull(a, b ival) ival {
-	if a.top || b.top {
-		return topIval()
-	}
-	return ival{lo: min64(a.lo, b.lo), hi: max64(a.hi, b.hi)}
-}
 
 func min64(a, b int64) int64 {
 	if a < b {
@@ -63,183 +43,50 @@ func max64(a, b int64) int64 {
 	return b
 }
 
-// sharedState is the per-PC abstract store: one interval per GPR.
-type sharedState struct {
-	regs    []ival
-	reached bool
-}
-
-func (c *checker) newSharedState() sharedState {
-	regs := make([]ival, isa.MaxGPR)
-	for i := range regs {
-		regs[i] = topIval()
-	}
-	return sharedState{regs: regs}
-}
-
-// operandIval evaluates a source operand under a state. Special
-// registers (thread geometry) are per-thread values: ⊤.
-func operandIval(st *sharedState, o isa.Operand) ival {
-	if o.IsImm {
-		return constIval(int64(o.Imm))
-	}
-	if o.Reg.IsSpecial() || int(o.Reg) >= isa.MaxGPR {
-		return topIval()
-	}
-	return st.regs[o.Reg]
-}
-
-// sharedTransfer applies one instruction to a copy of the state.
-func sharedTransfer(in *isa.Instr, st sharedState) sharedState {
-	out := sharedState{regs: append([]ival(nil), st.regs...), reached: true}
-	dst, ok := in.Writes()
-	if !ok || dst.IsSpecial() || int(dst) >= isa.MaxGPR {
-		return out
-	}
-	a := operandIval(&st, in.Src[0])
-	b := operandIval(&st, in.Src[1])
-	cc := operandIval(&st, in.Src[2])
-
-	var v ival
-	//simlint:ignore exhaustive-switch — abstract interpretation: the integer ALU ops listed have precise transfer functions, and the default maps every other op to ⊤, which is sound for any opcode ever added
-	switch in.Op {
-	case isa.OpMOV:
-		v = a
-	case isa.OpIADD:
-		v = ival{lo: a.lo + b.lo, hi: a.hi + b.hi, top: a.top || b.top}
-	case isa.OpISUB:
-		v = ival{lo: a.lo - b.hi, hi: a.hi - b.lo, top: a.top || b.top}
-	case isa.OpIMUL:
-		v = mulIval(a, b)
-	case isa.OpIMAD:
-		m := mulIval(a, b)
-		v = ival{lo: m.lo + cc.lo, hi: m.hi + cc.hi, top: m.top || cc.top}
-	case isa.OpIMIN:
-		v = ival{lo: min64(a.lo, b.lo), hi: min64(a.hi, b.hi), top: a.top || b.top}
-	case isa.OpIMAX:
-		v = ival{lo: max64(a.lo, b.lo), hi: max64(a.hi, b.hi), top: a.top || b.top}
-	case isa.OpSHL:
-		if b.isConst() && b.lo < 32 {
-			v = mulIval(a, constIval(int64(1)<<b.lo))
-		} else {
-			v = topIval()
-		}
-	case isa.OpSHR:
-		if b.isConst() && b.lo < 32 && !a.top {
-			v = ival{lo: a.lo >> b.lo, hi: a.hi >> b.lo}
-		} else {
-			v = topIval()
-		}
-	case isa.OpAND:
-		// A constant mask bounds the result regardless of the other side.
-		switch {
-		case b.isConst():
-			v = ival{lo: 0, hi: b.lo}
-		case a.isConst():
-			v = ival{lo: 0, hi: a.lo}
-		default:
-			v = topIval()
-		}
-	case isa.OpSELP:
-		v = hull(a, b)
-	default:
-		// Loads, atomics, float ops, conversions: data-dependent.
-		v = topIval()
-	}
-	v = v.norm()
-	if !in.Pred.None {
-		// Guarded write: the old value may survive on inactive lanes.
-		v = hull(v, st.regs[dst])
-	}
-	out.regs[dst] = v
-	return out
-}
-
-func mulIval(a, b ival) ival {
-	if a.top || b.top {
-		return topIval()
-	}
-	// All candidate corner products; bounds are within uint32 so the
-	// int64 products cannot overflow.
-	p1, p2, p3, p4 := a.lo*b.lo, a.lo*b.hi, a.hi*b.lo, a.hi*b.hi
-	return ival{
-		lo: min64(min64(p1, p2), min64(p3, p4)),
-		hi: max64(max64(p1, p2), max64(p3, p4)),
-	}
-}
-
-// sharedWidenVisits is how many times a PC's in-state may change before
-// its changed registers are widened straight to ⊤, guaranteeing the
-// worklist terminates on counted loops (r = r + 4 style chains).
-const sharedWidenVisits = 24
-
-// checkSharedBounds implements rule (g).
+// checkSharedBounds implements rule (g). Requires runValueAnalysis and
+// computeCondRegions.
 func (c *checker) checkSharedBounds() {
 	limit := int64(c.p.SharedBytes)
 	if limit <= 0 {
 		return
 	}
-
-	n := len(c.p.Instrs)
-	states := make([]sharedState, n)
-	visits := make([]int, n)
-	states[0] = c.newSharedState()
-	states[0].reached = true
-
-	work := []int{0}
-	inWork := make([]bool, n)
-	inWork[0] = true
-	for len(work) > 0 {
-		pc := work[0]
-		work = work[1:]
-		inWork[pc] = false
-
-		out := sharedTransfer(&c.p.Instrs[pc], states[pc])
-		for _, nx := range c.succ[pc] {
-			merged := out
-			if states[nx].reached {
-				merged = sharedState{regs: make([]ival, isa.MaxGPR), reached: true}
-				changed := false
-				for i := range merged.regs {
-					merged.regs[i] = hull(states[nx].regs[i], out.regs[i]).norm()
-					if merged.regs[i] != states[nx].regs[i] {
-						changed = true
-						if visits[nx] >= sharedWidenVisits {
-							merged.regs[i] = topIval()
-						}
-					}
-				}
-				if !changed {
-					continue
-				}
-			}
-			states[nx] = merged
-			visits[nx]++
-			if !inWork[nx] {
-				inWork[nx] = true
-				work = append(work, nx)
-			}
-		}
-	}
-
 	for pc := range c.p.Instrs {
 		in := &c.p.Instrs[pc]
-		if in.Op.Unit() != isa.UnitLDST || in.Space != isa.SpaceShared || !states[pc].reached {
+		if in.Op.Unit() != isa.UnitLDST || in.Space != isa.SpaceShared || !c.vals[pc].reached {
 			continue
 		}
-		base := operandIval(&states[pc], in.Src[0])
-		if base.top {
+		av := c.accessAval(pc)
+		if av.top {
 			continue
 		}
-		lo := base.lo + int64(in.Off)
-		hi := base.hi + int64(in.Off)
-		// Report only provable overruns: even the lowest reachable
-		// address (plus the 4-byte access width) escapes the declared
-		// region.
+		lo, hi := av.rng(&c.geo)
 		if lo+4 > limit || hi < 0 {
-			addr := fmtRange(lo, hi)
 			c.addf(pc, SevError, RuleSharedBounds,
-				"%s address %s overruns the declared .shared size %d", in.Op, addr, limit)
+				"%s address %s overruns the declared .shared size %d", in.Op, fmtRange(lo, hi), limit)
+			continue
+		}
+		// Tid-aware refinement: find a concrete witness thread whose
+		// exact address escapes. Inside guarded-branch regions the set
+		// of executing threads is path-sensitive, so no witness is
+		// provable there.
+		if !c.geo.known || c.geo.nThreads > maxRaceThreads || !av.exact() || c.cond[pc] {
+			continue
+		}
+		for t := int64(0); t < c.geo.nThreads; t++ {
+			runs, ok := c.guardHolds(pc, t)
+			if !ok {
+				break // guard undecidable: no thread's execution is provable
+			}
+			if !runs {
+				continue
+			}
+			a, _ := av.eval(&c.geo, t)
+			if a+4 > limit || a < 0 {
+				c.addf(pc, SevError, RuleSharedBounds,
+					"%s address %s overruns the declared .shared size %d for %s (byte %d)",
+					in.Op, fmtAval(av, &c.geo), limit, c.geo.threadName(t), a)
+				break
+			}
 		}
 	}
 }

@@ -92,6 +92,60 @@ setp.lt.s32 p0, r0, 16
 exit`,
 		},
 		{
+			// The regression pair the affine domain exists for: a
+			// strided access whose thread-0 address is comfortably in
+			// bounds but whose upper threads overrun. Without declared
+			// geometry (next case) the old constant-interval verdict —
+			// silence — is preserved.
+			name: "strided overrun with declared geometry",
+			src: `.kernel k
+.reg 4
+.shared 64
+.block 32
+mov r0, %tid.x
+shl r1, r0, 2
+st.shared [r1+32], r0
+exit`,
+			wantOOB: true,
+			wantMsg: "address 4*%tid.x+32 overruns the declared .shared size 64 for thread 8",
+		},
+		{
+			name: "strided overrun without geometry stays silent (clean)",
+			src: `.kernel k
+.reg 4
+.shared 64
+mov r0, %tid.x
+shl r1, r0, 2
+st.shared [r1+32], r0
+exit`,
+		},
+		{
+			name: "guard masks the strided overrun (clean)",
+			src: `.kernel k
+.reg 4
+.shared 64
+.block 64
+mov r0, %tid.x
+setp.lt.s32 p0, r0, 8
+shl r1, r0, 2
+@p0 st.shared [r1], r0
+exit`,
+		},
+		{
+			name: "guarded strided overrun cites a masked witness",
+			src: `.kernel k
+.reg 4
+.shared 64
+.block 64
+mov r0, %tid.x
+setp.lt.s32 p0, r0, 32
+shl r1, r0, 2
+@p0 st.shared [r1], r0
+exit`,
+			wantOOB: true,
+			wantMsg: "for thread 16",
+		},
+		{
 			name: "no .shared declaration skips the rule (clean)",
 			src: `.kernel k
 .reg 4

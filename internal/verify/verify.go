@@ -27,9 +27,16 @@
 //	                   the classic GPU barrier-divergence hang (rule e)
 //	misalignment       sized (32-bit) loads/stores whose address is
 //	                   provably not 4-byte aligned (rule f)
-//	shared-bounds      shared-space accesses whose address interval
-//	                   provably overruns the declared .shared size
-//	                   (rule g; skipped when no .shared is declared)
+//	shared-bounds      shared-space accesses whose address provably
+//	                   overruns the declared .shared size — for every
+//	                   thread, or for a concrete witness thread when
+//	                   the launch geometry is declared (rule g;
+//	                   skipped when no .shared is declared)
+//	shared-race        two shared-space accesses in the same barrier
+//	                   interval, at least one a write, that distinct
+//	                   threads of different warps can issue to
+//	                   overlapping bytes with no intervening bar.sync
+//	                   (rule h; needs declared launch geometry)
 //
 // Deliberate rule refinements, tuned against the bundled kernels
 // (internal/kernels), which all verify clean:
@@ -61,11 +68,21 @@
 //     unreachable (e.g. the program ends in an unconditional loop) it
 //     is not reported.
 //   - Alignment is checked where it is provable: absolute addresses
-//     (immediate base) must be 4-byte aligned and non-negative, and
-//     register-relative offsets must be multiples of 4 — kernel address
-//     arithmetic keeps base registers word-aligned (allocators return
-//     word-aligned pointers), so an odd displacement is an error in
-//     practice even though an odd base could in principle compensate.
+//     (immediate base) must be 4-byte aligned and non-negative. For
+//     register bases the affine-in-tid value analysis (affine.go) is
+//     consulted first: when the address is exact and its thread-varying
+//     part is a multiple of 4 for every thread, the residue mod 4 is a
+//     proof either way — a non-zero residue is an error and a zero
+//     residue suppresses the fallback heuristic. Otherwise the PR 4
+//     heuristic applies: register-relative offsets must be multiples of
+//     4 (kernel address arithmetic keeps base registers word-aligned).
+//   - The tid-aware rules (g) and (h) are deliberately under-
+//     approximate: they report only what the affine domain can PROVE
+//     for a concrete thread, skipping ⊤/inexact addresses, accesses
+//     whose guards have no evaluable predicate fact, and accesses
+//     inside guarded-branch regions or downstream of guarded exits
+//     (which threads execute those is path-sensitive). No bundled
+//     kernel trips them; the racy fixtures in race_test.go all do.
 package verify
 
 import (
@@ -104,6 +121,7 @@ const (
 	RuleDivergentBarrier = "divergent-barrier"
 	RuleMisalignment     = "misalignment"
 	RuleSharedBounds     = "shared-bounds"
+	RuleSharedRace       = "shared-race"
 	RuleStructure        = "structure"
 )
 
@@ -168,11 +186,28 @@ type Options struct {
 	// deeper nesting risks overflowing a hardware PDOM stack. 0 means
 	// the default of 16.
 	MaxDivergenceDepth int
+
+	// BlockDimX/BlockDimY set the launch geometry the tid-aware rules
+	// analyze against, overriding the program's own .block declaration.
+	// 0 means use the declaration (and when the program declares none
+	// either, the geometry-dependent refinements are disabled).
+	BlockDimX int
+	BlockDimY int
+
+	// WarpSize is the SIMT width used to derive %laneid/%warpid ranges
+	// and the intra-warp lockstep carve-out. 0 means the default of 32.
+	WarpSize int
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxDivergenceDepth <= 0 {
 		o.MaxDivergenceDepth = 16
+	}
+	if o.WarpSize <= 0 {
+		o.WarpSize = 32
+	}
+	if o.BlockDimX > 0 && o.BlockDimY <= 0 {
+		o.BlockDimY = 1
 	}
 	return o
 }
@@ -195,8 +230,11 @@ func CheckWith(p *isa.Program, opt Options) Findings {
 	c.computeUniformity()
 	c.checkReconvergence()
 	c.checkDivergence()
+	c.runValueAnalysis()
+	c.computeCondRegions()
 	c.checkAlignment()
 	c.checkSharedBounds()
+	c.checkSharedRace()
 	sort.SliceStable(c.findings, func(i, j int) bool {
 		if c.findings[i].Line != c.findings[j].Line {
 			return c.findings[i].Line < c.findings[j].Line
@@ -217,6 +255,10 @@ type checker struct {
 	divGPR  []uint64 // per-PC in-state: bit set = register possibly divergent
 	divPred []uint8  // per-PC in-state: bit set = predicate possibly divergent
 	ctrlDiv []bool   // instruction sits inside some divergent branch region
+
+	geo  geom       // launch geometry for the affine domain
+	vals []absState // per-PC affine in-states, from runValueAnalysis
+	cond []bool     // instruction executes only under some branch/exit guard
 
 	findings Findings
 }
@@ -306,10 +348,35 @@ func (c *checker) checkAlignment() {
 			}
 			continue
 		}
+		// The affine value analysis can settle alignment outright when
+		// the address is exact and its thread-varying part is a
+		// multiple of 4 for every thread: the residue mod 4 is then the
+		// same constant for all of them.
+		if c.vals[pc].reached {
+			if av := c.accessAval(pc); av.exact() && wordStrided(av) {
+				if res := ((av.lo % 4) + 4) % 4; res != 0 {
+					c.addf(pc, SevError, RuleMisalignment,
+						"%s address %s is provably %d bytes past a 4-byte boundary for every thread",
+						in.Op, fmtAval(av, &c.geo), res)
+				}
+				continue // residue proven either way; skip the heuristic
+			}
+		}
 		if in.Off%4 != 0 {
 			c.addf(pc, SevError, RuleMisalignment,
 				"%s offset %+d from %s is not a multiple of 4 (word-aligned base assumed)",
 				in.Op, in.Off, in.Src[0].Reg)
 		}
 	}
+}
+
+// wordStrided reports whether every symbolic coefficient of v is a
+// multiple of the 4-byte access width.
+func wordStrided(v aval) bool {
+	for _, co := range v.co {
+		if co%4 != 0 {
+			return false
+		}
+	}
+	return true
 }

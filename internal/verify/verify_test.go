@@ -173,7 +173,7 @@ exit`,
 			name: "misaligned register offset",
 			src: `.kernel k
 .reg 2
-mov r0, 0
+ld.param r0, [0]
 ld.global r1, [r0+2]
 exit`,
 			wantRule: verify.RuleMisalignment,
@@ -187,6 +187,40 @@ exit`,
 mov r0, 8
 ld.global r1, [r0-4]
 st.global [r0-8], r1
+exit`,
+		},
+		{
+			name: "provably misaligned register base",
+			src: `.kernel k
+.reg 2
+mov r0, 2
+ld.global r1, [r0]
+exit`,
+			wantRule: verify.RuleMisalignment,
+			wantSev:  verify.SevError,
+			wantMsg:  "provably 2 bytes past a 4-byte boundary",
+		},
+		{
+			name: "provably misaligned tid stride",
+			src: `.kernel k
+.reg 2
+mov r0, %tid.x
+shl r0, r0, 2
+iadd r0, r0, 2
+st.global [r0], r0
+exit`,
+			wantRule: verify.RuleMisalignment,
+			wantSev:  verify.SevError,
+			wantMsg:  "address 4*%tid.x+2 is provably 2 bytes past",
+		},
+		{
+			name: "odd offset against a provably compensating base (clean)",
+			src: `.kernel k
+.reg 2
+mov r0, %tid.x
+shl r0, r0, 2
+iadd r0, r0, 6
+ld.global r1, [r0-2]
 exit`,
 		},
 		{
