@@ -60,7 +60,7 @@ func main() {
 	}
 
 	if *diagnose {
-		runDiagnose(*benchName, *seed)
+		runDiagnose(ctx, *benchName, *seed)
 		return
 	}
 
@@ -115,7 +115,7 @@ func main() {
 // runDiagnose demonstrates the paper's §3.4 claim: Warped-DMR detects
 // at single-SP granularity, so a permanently faulty lane can be
 // identified (and then re-routed around) instead of disabling the SM.
-func runDiagnose(benchName string, seed int64) {
+func runDiagnose(ctx context.Context, benchName string, seed int64) {
 	if benchName == "" {
 		benchName = "SHA"
 	}
@@ -124,8 +124,9 @@ func runDiagnose(benchName string, seed int64) {
 		Unit: 0 /* SP */, Bit: uint(seed) % 8, StuckVal: 1}
 	fmt.Printf("injected: %s\n", f)
 	d := core.NewDiagnoser()
-	res, err := warped.RunBenchmarkWithFaults(benchName, warped.WarpedDMRConfig(),
-		fault.NewInjector(f), d.Observe)
+	res, err := (&warped.Runner{}).Run(ctx, benchName,
+		warped.WithConfig(warped.WarpedDMRConfig()),
+		warped.WithFaults(fault.NewInjector(f), d.Observe))
 	if err != nil {
 		fmt.Printf("kernel aborted (DUE): %v\n", err)
 	} else {

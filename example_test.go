@@ -1,6 +1,7 @@
 package warped_test
 
 import (
+	"context"
 	"fmt"
 
 	"warped"
@@ -8,8 +9,10 @@ import (
 
 // Running one of the paper's workloads under full Warped-DMR: the
 // result carries cycles, coverage, and all the per-figure statistics.
-func ExampleRunBenchmark() {
-	res, err := warped.RunBenchmark("BitonicSort", warped.WarpedDMRConfig())
+func ExampleRunner_Run() {
+	runner := &warped.Runner{}
+	res, err := runner.Run(context.Background(), "BitonicSort",
+		warped.WithConfig(warped.WarpedDMRConfig()))
 	if err != nil {
 		panic(err)
 	}
@@ -63,13 +66,14 @@ func ExampleConfig() {
 	intra := warped.PaperConfig()
 	intra.DMR = warped.DMRIntra
 	intra.Mapping = warped.MapClusterRR
-	a, err := warped.RunBenchmark("BFS", intra)
+	runner := &warped.Runner{}
+	a, err := runner.Run(context.Background(), "BFS", warped.WithConfig(intra))
 	if err != nil {
 		panic(err)
 	}
 
 	full := warped.WarpedDMRConfig()
-	b, err := warped.RunBenchmark("BFS", full)
+	b, err := runner.Run(context.Background(), "BFS", warped.WithConfig(full))
 	if err != nil {
 		panic(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"warped"
@@ -28,14 +29,16 @@ func main() {
 	// --- With Warped-DMR: mismatches are detected. ---
 	var first *warped.ErrorEvent
 	events := 0
-	res, err := warped.RunBenchmarkWithFaults("SCAN", warped.WarpedDMRConfig(),
-		fault.NewInjector(mkFault()), func(ev warped.ErrorEvent) {
+	runner := &warped.Runner{}
+	res, err := runner.Run(context.Background(), "SCAN",
+		warped.WithConfig(warped.WarpedDMRConfig()),
+		warped.WithFaults(fault.NewInjector(mkFault()), func(ev warped.ErrorEvent) {
 			if first == nil {
 				f := ev
 				first = &f
 			}
 			events++
-		})
+		}))
 	switch {
 	case err != nil:
 		// A corrupted value fed an address computation and ran off the
@@ -53,8 +56,9 @@ func main() {
 	}
 
 	// --- Without protection: the same fault corrupts silently. ---
-	unprot, err := warped.RunBenchmarkWithFaults("SCAN", warped.PaperConfig(),
-		fault.NewInjector(mkFault()), nil)
+	unprot, err := runner.Run(context.Background(), "SCAN",
+		warped.WithConfig(warped.PaperConfig()),
+		warped.WithFaults(fault.NewInjector(mkFault()), nil))
 	if err != nil {
 		fmt.Printf("\nunprotected run: kernel crashed with no warning of the root cause: %v\n", err)
 	} else {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"warped"
@@ -22,11 +23,13 @@ func main() {
 	d := warped.NewDiagnoser()
 	// Raise the exception after 50 confirmed mismatches — plenty for the
 	// diagnoser, long before a corrupted loop counter could hang the run.
-	res, err := warped.RunBenchmarkWithOpts("Libor", warped.WarpedDMRConfig(), warped.LaunchOpts{
-		Fault:           fault.NewInjector(planted),
-		OnError:         d.Observe,
-		StopAfterErrors: 50,
-	})
+	res, err := (&warped.Runner{}).Run(context.Background(), "Libor",
+		warped.WithConfig(warped.WarpedDMRConfig()),
+		warped.WithLaunchOpts(warped.LaunchOpts{
+			Fault:           fault.NewInjector(planted),
+			OnError:         d.Observe,
+			StopAfterErrors: 50,
+		}))
 	switch {
 	case err != nil:
 		fmt.Printf("exception raised: %v\n", err)

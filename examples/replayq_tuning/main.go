@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,8 @@ import (
 func main() {
 	const bench = "MatrixMul" // the workload with the worst inter-warp pressure
 
-	base, err := warped.RunBenchmark(bench, warped.PaperConfig())
+	runner := &warped.Runner{}
+	base, err := runner.Run(context.Background(), bench, warped.WithConfig(warped.PaperConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,7 +28,7 @@ func main() {
 	for _, q := range []int{0, 1, 2, 5, 10, 20} {
 		cfg := warped.WarpedDMRConfig()
 		cfg.ReplayQSize = q
-		res, err := warped.RunBenchmark(bench, cfg)
+		res, err := runner.Run(context.Background(), bench, warped.WithConfig(cfg))
 		if err != nil {
 			log.Fatal(err)
 		}

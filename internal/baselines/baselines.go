@@ -92,7 +92,7 @@ func EvaluateContext(ctx context.Context, a Approach, bench *kernels.Benchmark, 
 		cfg.Mapping = arch.MapClusterRR
 	}
 
-	g, err := sim.New(cfg, 0)
+	g, err := sim.New(cfg, bench.GPUMemBytes())
 	if err != nil {
 		return Result{}, err
 	}

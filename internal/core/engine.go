@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"warped/internal/arch"
 	"warped/internal/exec"
 	"warped/internal/isa"
@@ -31,6 +33,8 @@ type ErrorEvent struct {
 }
 
 // IssueInfo describes one issued warp instruction to the DMR engine.
+// Rec may point at a Machine-owned record that is only valid during the
+// Issue call; the engine copies it by value before buffering.
 type IssueInfo struct {
 	Rec     *exec.Record
 	WarpGID int       // unique warp identifier within the SM
@@ -39,9 +43,21 @@ type IssueInfo struct {
 	Cycle   int64     // SM cycle of the issue (sampling-DMR epochs)
 }
 
-// qEntry is one unverified instruction buffered in the ReplayQ.
+// qEntry is one unverified instruction buffered in the ReplayQ. The
+// record is stored by value — the issuing Machine reuses its record on
+// the next Step — and info.Rec is re-pointed at it on use.
 type qEntry struct {
 	info IssueInfo
+	rec  exec.Record
+}
+
+// issueInfo reconstructs the IssueInfo with Rec pointing at the
+// entry's own record copy (entries move when the queue compacts, so
+// the pointer is never stored).
+func (q *qEntry) issueInfo() IssueInfo {
+	info := q.info
+	info.Rec = &q.rec
+	return info
 }
 
 // ReplayQEntryBytes is the storage for one ReplayQ entry: 32 lanes x 3
@@ -64,9 +80,17 @@ type Engine struct {
 	inter bool
 	dmtr  bool
 
-	q       []qEntry
-	pending *IssueInfo // instruction "in RF" awaiting the DEC-stage type compare
-	phase   int        // lane-shuffle rotation phase
+	// laneFor/threadFor pre-resolve the configured thread<->lane mapping
+	// so the per-replay path avoids copying arch.Config per call.
+	laneFor   [32]uint8 // thread slot -> physical lane
+	threadFor [32]uint8 // physical lane -> thread slot
+
+	q          []qEntry
+	pendingEnt qEntry // instruction "in RF" awaiting the DEC-stage type compare
+	hasPending bool
+	phase      int // lane-shuffle rotation phase
+
+	pairBuf [32]Pairing // scratch for intra-warp RFU pairing
 }
 
 // NewEngine builds the DMR engine for SM smID. st must not be nil;
@@ -83,6 +107,13 @@ func NewEngine(cfg arch.Config, smID int, st *stats.Stats, perturb PerturbPhys, 
 		inter:   cfg.DMR == arch.DMRInter || cfg.DMR == arch.DMRFull,
 		dmtr:    cfg.DMR == arch.DMRTemporalAll,
 		met:     metrics.ForDMR(nil, cfg.WarpSize, cfg.ClusterSize),
+	}
+	if cfg.ReplayQSize > 0 {
+		e.q = make([]qEntry, 0, cfg.ReplayQSize)
+	}
+	for t := 0; t < 32; t++ {
+		e.laneFor[t] = uint8(cfg.LaneForThread(t))
+		e.threadFor[t] = uint8(cfg.ThreadForLane(t))
 	}
 	return e
 }
@@ -107,6 +138,15 @@ func (e *Engine) QueueLen() int { return len(e.q) }
 // configured entry count (paper: 10 entries ~ 5 KB, 4% of a 128 KB RF).
 func (e *Engine) QueueSizeBytes() int { return e.cfg.ReplayQSize * ReplayQEntryBytes }
 
+// setPending buffers the issued instruction as the pending (RF-stage)
+// entry, copying the record out of the Machine-owned slot.
+func (e *Engine) setPending(info IssueInfo) {
+	e.pendingEnt.rec = *info.Rec
+	info.Rec = nil // entries never store the caller's pointer
+	e.pendingEnt.info = info
+	e.hasPending = true
+}
+
 // computable reports whether an instruction's result can be recomputed
 // by a redundant lane (i.e. it is a DMR target).
 func computable(op isa.Opcode) bool {
@@ -122,12 +162,12 @@ func computable(op isa.Opcode) bool {
 // verified for free, and every unit class may drain one ReplayQ entry.
 func (e *Engine) IdleCycle(now int64) {
 	var used [3]bool
-	if e.pending != nil {
-		used[e.pending.Rec.Unit] = true
-		e.verify(*e.pending, now)
+	if e.hasPending {
+		used[e.pendingEnt.rec.Unit] = true
+		e.hasPending = false
+		e.verify(e.pendingEnt.issueInfo(), now)
 		e.st.ReplayCoexec++
 		e.met.CoexecReplays.Inc()
-		e.pending = nil
 	}
 	e.drainIdleUnits(used, now)
 }
@@ -141,7 +181,7 @@ func (e *Engine) drainIdleUnits(used [3]bool, now int64) {
 		return
 	}
 	for i := 0; i < len(e.q); {
-		u := e.q[i].info.Rec.Unit
+		u := e.q[i].rec.Unit
 		if used[u] {
 			i++
 			continue
@@ -150,7 +190,7 @@ func (e *Engine) drainIdleUnits(used [3]bool, now int64) {
 		ent := e.q[i]
 		e.q = append(e.q[:i], e.q[i+1:]...)
 		e.noteQueueDepth()
-		e.verify(ent.info, now)
+		e.verify(ent.issueInfo(), now)
 		e.st.ReplayIdleDrain++
 		e.met.IdleDrainReplays.Inc()
 		if used[0] && used[1] && used[2] {
@@ -171,11 +211,11 @@ func (e *Engine) Issue(info IssueInfo) (stall int) {
 	// Control instructions occupy no SP/SFU/LDST unit: the pending
 	// instruction's unit is idle next cycle, verifying it for free.
 	if rec.Unit == isa.UnitCTRL || !computable(rec.Instr.Op) {
-		if e.pending != nil {
-			e.verify(*e.pending, info.Cycle)
+		if e.hasPending {
+			e.hasPending = false
+			e.verify(e.pendingEnt.issueInfo(), info.Cycle)
 			e.st.ReplayCoexec++
 			e.met.CoexecReplays.Inc()
-			e.pending = nil
 		}
 		return 0
 	}
@@ -186,7 +226,7 @@ func (e *Engine) Issue(info IssueInfo) (stall int) {
 	// Sampling DMR: outside the sampled window, resolve whatever is in
 	// flight and stop verifying new work (transients there are missed).
 	if p := e.cfg.SamplePeriod; p > 0 && info.Cycle%p >= e.cfg.SampleOn {
-		if e.pending != nil {
+		if e.hasPending {
 			stall += e.resolvePending(rec.Unit, &[3]bool{}, info.Cycle)
 		}
 		return stall
@@ -210,7 +250,7 @@ func (e *Engine) Issue(info IssueInfo) (stall int) {
 	// redundant execution this cycle; the rest may drain the ReplayQ.
 	var used [3]bool
 	used[rec.Unit] = true // busy with the primary execution
-	if e.pending != nil {
+	if e.hasPending {
 		stall += e.resolvePending(rec.Unit, &used, info.Cycle)
 	}
 	e.drainIdleUnits(used, info.Cycle)
@@ -219,9 +259,9 @@ func (e *Engine) Issue(info IssueInfo) (stall int) {
 	case e.dmtr:
 		// DMTR baseline: every instruction is replayed in the following
 		// cycle regardless of utilization; no ReplayQ.
-		e.pending = &info
+		e.setPending(info)
 	case isFull && e.inter:
-		e.pending = &info
+		e.setPending(info)
 	case !isFull && e.intra:
 		e.intraWarp(info)
 	}
@@ -232,15 +272,15 @@ func (e *Engine) Issue(info IssueInfo) (stall int) {
 // instruction given the unit type of the instruction right behind it,
 // marking any unit class it occupies with a redundant execution.
 func (e *Engine) resolvePending(curUnit isa.UnitClass, used *[3]bool, now int64) (stall int) {
-	p := e.pending
-	e.pending = nil
-	pUnit := p.Rec.Unit
+	p := &e.pendingEnt
+	e.hasPending = false
+	pUnit := p.rec.Unit
 
 	if pUnit != curUnit {
 		// Different types: the pending instruction's unit is idle next
 		// cycle; co-execute its DMR copy for free.
 		used[pUnit] = true
-		e.verify(*p, now+1)
+		e.verify(p.issueInfo(), now+1)
 		e.st.ReplayCoexec++
 		e.met.CoexecReplays.Inc()
 		return 0
@@ -248,22 +288,22 @@ func (e *Engine) resolvePending(curUnit isa.UnitClass, used *[3]bool, now int64)
 	// Same type: try to swap with a different-type ReplayQ entry.
 	if !e.dmtr {
 		for i := range e.q {
-			u := e.q[i].info.Rec.Unit
+			u := e.q[i].rec.Unit
 			if u != pUnit && !used[u] {
 				ent := e.q[i]
 				e.q = append(e.q[:i], e.q[i+1:]...)
-				e.q = append(e.q, qEntry{info: *p})
+				e.q = append(e.q, *p)
 				e.st.ReplayEnq++
 				e.noteEnqueue()
 				used[u] = true
-				e.verify(ent.info, now+1)
+				e.verify(ent.issueInfo(), now+1)
 				e.st.ReplayCoexec++
 				e.met.CoexecReplays.Inc()
 				return 0
 			}
 		}
 		if len(e.q) < e.cfg.ReplayQSize {
-			e.q = append(e.q, qEntry{info: *p})
+			e.q = append(e.q, *p)
 			e.st.ReplayEnq++
 			e.noteEnqueue()
 			return 0
@@ -271,7 +311,7 @@ func (e *Engine) resolvePending(curUnit isa.UnitClass, used *[3]bool, now int64)
 	}
 	// ReplayQ full (or absent): eager re-execution with a one-cycle
 	// pipeline stall, reusing operands still live in the pipeline.
-	e.verify(*p, now+1)
+	e.verify(p.issueInfo(), now+1)
 	e.st.StallReplayQFull++
 	e.met.OverflowStalls.Inc()
 	return 1
@@ -291,28 +331,43 @@ func (e *Engine) verifyRAWProducers(info IssueInfo) (stall int) {
 	if len(e.q) == 0 {
 		return 0
 	}
-	reads := info.Rec.Instr.Reads()
+	reads := info.Rec.SrcRegs()
 	if len(reads) == 0 {
 		return 0
 	}
-	kept := e.q[:0]
-	for _, ent := range e.q {
-		hit := false
-		if ent.info.WarpGID == info.WarpGID && ent.info.Rec.DstValid {
-			for _, r := range reads {
-				if r == ent.info.Rec.Dst {
-					hit = true
-					break
-				}
+	hits := func(ent *qEntry) bool {
+		if ent.info.WarpGID != info.WarpGID || !ent.rec.DstValid {
+			return false
+		}
+		for _, r := range reads {
+			if r == ent.rec.Dst {
+				return true
 			}
 		}
-		if hit {
-			e.verify(ent.info, info.Cycle)
+		return false
+	}
+	// Fast path: no RAW hazard buffered (the common case) — leave the
+	// queue untouched instead of copying every entry through compaction.
+	first := -1
+	for i := range e.q {
+		if hits(&e.q[i]) {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return 0
+	}
+	kept := e.q[:first]
+	for i := first; i < len(e.q); i++ {
+		ent := &e.q[i]
+		if hits(ent) {
+			e.verify(ent.issueInfo(), info.Cycle)
 			e.st.StallRAWUnverif++
 			e.met.RAWFlushStalls.Inc()
 			stall++
 		} else {
-			kept = append(kept, ent)
+			kept = append(kept, *ent)
 		}
 	}
 	e.q = kept
@@ -324,16 +379,16 @@ func (e *Engine) verifyRAWProducers(info IssueInfo) (stall int) {
 // kernel completion (starting at cycle `at`), returning the cycles
 // consumed — one per replay, on the now-idle units.
 func (e *Engine) Drain(at int64) (cycles int) {
-	if e.pending != nil {
+	if e.hasPending {
 		cycles++
-		e.verify(*e.pending, at+int64(cycles))
+		e.hasPending = false
+		e.verify(e.pendingEnt.issueInfo(), at+int64(cycles))
 		e.st.ReplayCoexec++
 		e.met.CoexecReplays.Inc()
-		e.pending = nil
 	}
-	for _, ent := range e.q {
+	for i := range e.q {
 		cycles++
-		e.verify(ent.info, at+int64(cycles))
+		e.verify(e.q[i].issueInfo(), at+int64(cycles))
 		e.st.ReplayIdleDrain++
 		e.met.IdleDrainReplays.Inc()
 	}
@@ -349,7 +404,7 @@ func (e *Engine) intraWarp(info IssueInfo) {
 	if rec.Executing == 0 {
 		return
 	}
-	pairs, covered := e.table.PairWarp(info.Phys, e.cfg.WarpSize)
+	pairs, covered := e.table.PairWarpInto(info.Phys, e.cfg.WarpSize, e.pairBuf[:0])
 	e.st.VerifiedIntra += int64(covered)
 	e.st.RedundantOps[rec.Unit] += int64(len(pairs))
 	e.met.IntraVerified.Add(int64(covered))
@@ -364,8 +419,8 @@ func (e *Engine) intraWarp(info IssueInfo) {
 		}
 	}
 	for _, p := range pairs {
-		thread := e.cfg.ThreadForLane(p.Active)
-		golden, ok := exec.Compute(rec.Instr, rec.SrcVals[0][thread], rec.SrcVals[1][thread], rec.SrcVals[2][thread])
+		thread := int(e.threadFor[p.Active])
+		golden, ok := rec.Recompute(rec.SrcVals[0][thread], rec.SrcVals[1][thread], rec.SrcVals[2][thread])
 		if !ok {
 			continue
 		}
@@ -397,23 +452,32 @@ func (e *Engine) verify(info IssueInfo, at int64) {
 		at = info.Cycle
 	}
 	e.phase++
-	e.st.VerifiedInter += int64(rec.Executing.Count())
-	e.st.RedundantOps[rec.Unit] += int64(rec.Executing.Count())
-	e.met.InterVerified.Add(int64(rec.Executing.Count()))
+	nexec := int64(rec.Executing.Count())
+	e.st.VerifiedInter += nexec
+	e.st.RedundantOps[rec.Unit] += nexec
+	e.met.InterVerified.Add(nexec)
 	e.met.VerifyLatency.Observe(at - info.Cycle)
-	for thread := 0; thread < 32; thread++ {
-		if !rec.Executing.Has(thread) {
-			continue
-		}
-		orig := e.cfg.LaneForThread(thread)
+	// Hoist the lane-shuffle rotation out of the per-lane loop: the
+	// phase (and hence ShuffleLane's result per lane) is fixed for the
+	// whole replay, and cluster sizes are powers of two.
+	shuffle := e.cfg.LaneShuffle && e.cfg.ClusterSize > 1
+	var rot, cmask int
+	if shuffle {
+		cmask = e.cfg.ClusterSize - 1
+		rot = 1 + e.phase%(e.cfg.ClusterSize-1)
+	}
+	for rem := uint32(rec.Executing); rem != 0; rem &= rem - 1 {
+		thread := bits.TrailingZeros32(rem)
+		orig := int(e.laneFor[thread])
 		verif := orig
-		if e.cfg.LaneShuffle {
-			verif = ShuffleLane(orig, e.cfg.ClusterSize, e.phase)
+		if shuffle {
+			base := orig &^ cmask
+			verif = base + (orig-base+rot)&cmask
 		}
 		if verif < len(e.met.ShuffleLaneUsed) {
 			e.met.ShuffleLaneUsed[verif].Inc()
 		}
-		golden, ok := exec.Compute(rec.Instr, rec.SrcVals[0][thread], rec.SrcVals[1][thread], rec.SrcVals[2][thread])
+		golden, ok := rec.Recompute(rec.SrcVals[0][thread], rec.SrcVals[1][thread], rec.SrcVals[2][thread])
 		if !ok {
 			continue
 		}

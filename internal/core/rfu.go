@@ -86,13 +86,32 @@ func (t *PriorityTable) PairCluster(busy uint32) []Pairing {
 // mask and returns warp-relative pairings plus the number of distinct
 // active lanes that received at least one verifier.
 func (t *PriorityTable) PairWarp(busy simt.Mask, warpWidth int) (pairs []Pairing, covered int) {
+	return t.PairWarpInto(busy, warpWidth, nil)
+}
+
+// PairWarpInto is PairWarp with caller-provided storage: pairings are
+// appended to buf (pass buf[:0] of a per-engine scratch array to keep
+// the per-instruction DMR path allocation-free).
+func (t *PriorityTable) PairWarpInto(busy simt.Mask, warpWidth int, buf []Pairing) (pairs []Pairing, covered int) {
 	clusterMask := uint32(1)<<uint(t.size) - 1
 	var coveredMask simt.Mask
+	pairs = buf
 	for base := 0; base < warpWidth; base += t.size {
 		cb := (uint32(busy) >> uint(base)) & clusterMask
-		for _, p := range t.PairCluster(cb) {
-			pairs = append(pairs, Pairing{Idle: base + p.Idle, Active: base + p.Active})
-			coveredMask |= 1 << uint(base+p.Active)
+		if cb == 0 {
+			continue
+		}
+		for mux := 0; mux < t.size; mux++ {
+			if cb&(1<<uint(mux)) != 0 {
+				continue // MUX's first priority is its own lane: it is busy
+			}
+			for _, lane := range t.order[mux] {
+				if cb&(1<<uint(lane)) != 0 {
+					pairs = append(pairs, Pairing{Idle: base + mux, Active: base + lane})
+					coveredMask |= 1 << uint(base+lane)
+					break
+				}
+			}
 		}
 	}
 	return pairs, coveredMask.Count()

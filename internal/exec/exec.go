@@ -1,46 +1,89 @@
 // Package exec implements the functional semantics of the ISA: pure
-// per-lane ALU/SFU evaluation plus the architectural Step that applies
-// one instruction to a warp's register file, memory, and control state.
+// per-lane ALU/SFU evaluation plus the architectural Machine that
+// applies pre-decoded instructions to a warp's register file, memory,
+// and control state.
 //
-// The timing simulator (internal/sim) calls Step at issue time
-// ("execute-at-issue"); Warped-DMR (internal/core) reuses the pure
-// Compute function to redundantly re-execute lanes and compare results.
+// Programs are lowered once per launch by Compile into a flat stream of
+// Decoded instructions (per-op step/compute functions, packed operand
+// windows); the timing simulator (internal/sim) builds one Machine per
+// SM and calls Machine.Step at issue time ("execute-at-issue").
+// Warped-DMR (internal/core) reuses the pre-bound compute functions via
+// Record.Recompute to redundantly re-execute lanes and compare results.
 package exec
 
 import (
-	"fmt"
-	"math"
-
 	"warped/internal/isa"
-	"warped/internal/mem"
-	"warped/internal/metrics"
 	"warped/internal/simt"
 )
 
-// Regs is the architectural register state of one warp: up to 32 lanes
-// of general registers, predicate masks, and launch-time special values.
+// numSpecials is how many special read-only registers exist
+// (RegTIDX..RegWARPID).
+const numSpecials = int(isa.RegSpecialEnd-isa.SpecialBase) - 1
+
+// Regs is the architectural register state of one warp: a view into a
+// struct-of-arrays register slab (32 contiguous lane values per
+// register) plus predicate masks. Views come from a RegFile (one slab
+// per block) or NewRegs (a standalone single-warp slab).
 type Regs struct {
-	GPR     [][32]uint32 // [reg][lane]
-	Pred    [isa.NumPreds]simt.Mask
-	Special [isa.RegSpecialEnd - isa.SpecialBase][32]uint32
+	gpr  []uint32 // [reg*32+lane], numRegs*32 entries
+	spec []uint32 // [special*32+lane], numSpecials*32 entries
+	Pred [isa.NumPreds]simt.Mask
 }
 
-// NewRegs allocates register state for numRegs general registers.
+// RegFile is the register backing store of one thread block: a single
+// struct-of-arrays slab indexed [warp][reg][lane], carved into per-warp
+// views. One allocation per block instead of one per warp per register.
+type RegFile struct {
+	warps []Regs
+}
+
+// NewRegFile allocates register state for numWarps warps of numRegs
+// general registers each.
+func NewRegFile(numWarps, numRegs int) *RegFile {
+	gpr := make([]uint32, numWarps*numRegs*32)
+	spec := make([]uint32, numWarps*numSpecials*32)
+	f := &RegFile{warps: make([]Regs, numWarps)}
+	for i := range f.warps {
+		f.warps[i] = Regs{
+			gpr:  gpr[i*numRegs*32 : (i+1)*numRegs*32 : (i+1)*numRegs*32],
+			spec: spec[i*numSpecials*32 : (i+1)*numSpecials*32 : (i+1)*numSpecials*32],
+		}
+	}
+	return f
+}
+
+// Warp returns the register view of warp i.
+func (f *RegFile) Warp(i int) *Regs { return &f.warps[i] }
+
+// NewRegs allocates standalone register state for one warp with numRegs
+// general registers (tests and single-warp tools; the simulator uses
+// NewRegFile).
 func NewRegs(numRegs int) *Regs {
-	return &Regs{GPR: make([][32]uint32, numRegs)}
+	return NewRegFile(1, numRegs).Warp(0)
+}
+
+// gprLanes returns the 32-lane window of one general register.
+func (r *Regs) gprLanes(reg isa.Reg) []uint32 {
+	off := int(reg) * 32
+	return r.gpr[off : off+32 : off+32]
 }
 
 // SetSpecial fills one special register's per-lane values.
 func (r *Regs) SetSpecial(reg isa.Reg, vals [32]uint32) {
-	r.Special[reg-isa.SpecialBase-1] = vals
+	copy(r.spec[(int(reg-isa.SpecialBase)-1)*32:], vals[:])
 }
 
 // Read returns the value of reg in the given lane slot.
 func (r *Regs) Read(reg isa.Reg, lane int) uint32 {
 	if reg.IsSpecial() {
-		return r.Special[reg-isa.SpecialBase-1][lane]
+		return r.spec[(int(reg-isa.SpecialBase)-1)*32+lane]
 	}
-	return r.GPR[reg][lane]
+	return r.gpr[int(reg)*32+lane]
+}
+
+// Set writes a general register in the given lane slot.
+func (r *Regs) Set(reg isa.Reg, lane int, v uint32) {
+	r.gpr[int(reg)*32+lane] = v
 }
 
 // Operand resolves an operand for a lane.
@@ -51,23 +94,6 @@ func (r *Regs) Operand(o isa.Operand, lane int) uint32 {
 	return r.Read(o.Reg, lane)
 }
 
-// Context bundles the memories visible to a warp. Shadow marks a
-// redundant R-Thread block: it executes with full timing but its
-// global-memory side effects are suppressed (the real duplicate block
-// writes to a disjoint shadow buffer; suppression models that without
-// requiring every kernel to carry one).
-type Context struct {
-	Global *mem.Global
-	Shared *mem.Shared
-	Params *mem.Params
-	Shadow bool
-
-	// Metrics, when non-nil, receives branch-behaviour and bank-conflict
-	// counts as instructions execute (see internal/metrics.ForExec).
-	// Nil costs one branch per executed branch/shared access.
-	Metrics *metrics.Exec
-}
-
 // Perturb is a fault-injection hook: given the thread slot (logical
 // lane within the warp), the unit class, and the golden value (result
 // for SP/SFU ops, effective address for LD/ST), it returns the possibly
@@ -76,9 +102,14 @@ type Perturb func(thread int, unit isa.UnitClass, golden uint32) uint32
 
 // Record describes everything the timing model and the DMR layer need
 // to know about one executed warp-instruction.
+//
+// Machine.Step returns a Machine-owned Record that is reused on the
+// next call; its per-lane arrays are only meaningful for Executing
+// lanes. Copy the Record by value to keep it past the next Step.
 type Record struct {
 	PC        int
 	Instr     *isa.Instr
+	Dec       *Decoded  // pre-decoded form; nil for hand-built records
 	Unit      isa.UnitClass
 	Active    simt.Mask // path mask before guarding
 	Executing simt.Mask // lanes that actually executed (guard applied)
@@ -109,6 +140,30 @@ type Record struct {
 	Dst      isa.Reg
 }
 
+// Recompute re-evaluates one lane of the recorded instruction from raw
+// source values — the DMR layer's redundant execution. It dispatches
+// through the pre-bound compute function when the record came from a
+// Machine, falling back to interpreted Compute for hand-built records.
+// ok is false for opcodes that are not lane-computable.
+func (r *Record) Recompute(a, b, c uint32) (uint32, bool) {
+	if r.Dec != nil {
+		if r.Dec.compute == nil {
+			return 0, false
+		}
+		return r.Dec.compute(a, b, c), true
+	}
+	return Compute(r.Instr, a, b, c)
+}
+
+// SrcRegs returns the general registers the recorded instruction reads,
+// without allocating when the record carries its pre-decoded form.
+func (r *Record) SrcRegs() []isa.Reg {
+	if r.Dec != nil {
+		return r.Dec.ReadRegs[:r.Dec.NumReads]
+	}
+	return r.Instr.Reads()
+}
+
 // guardMask returns the lanes of active that pass the guard predicate.
 func guardMask(r *Regs, pred isa.PredRef, active simt.Mask) simt.Mask {
 	if pred.None {
@@ -125,134 +180,27 @@ func guardMask(r *Regs, pred isa.PredRef, active simt.Mask) simt.Mask {
 // source values. It must stay a pure function: the DMR layer calls it
 // again on a different physical lane and compares results. ok is false
 // for opcodes that are not lane-computable (control, barriers).
+//
+// Compute dispatches through the same laneFns table the pre-decoded
+// pipeline executes, so the two paths share one implementation.
 func Compute(in *isa.Instr, a, b, c uint32) (val uint32, ok bool) {
-	f := math.Float32frombits
-	fb := math.Float32bits
 	switch in.Op {
-	case isa.OpMOV:
-		return a, true
-	case isa.OpIADD:
-		return a + b, true
-	case isa.OpISUB:
-		return a - b, true
-	case isa.OpIMUL:
-		return uint32(int32(a) * int32(b)), true
-	case isa.OpIMAD:
-		return uint32(int32(a)*int32(b)) + c, true
-	case isa.OpIMIN:
-		if int32(a) < int32(b) {
-			return a, true
-		}
-		return b, true
-	case isa.OpIMAX:
-		if int32(a) > int32(b) {
-			return a, true
-		}
-		return b, true
-	case isa.OpAND:
-		return a & b, true
-	case isa.OpOR:
-		return a | b, true
-	case isa.OpXOR:
-		return a ^ b, true
-	case isa.OpNOT:
-		return ^a, true
-	case isa.OpSHL:
-		return a << (b & 31), true
-	case isa.OpSHR:
-		return a >> (b & 31), true
-	case isa.OpSAR:
-		return uint32(int32(a) >> (b & 31)), true
-	case isa.OpFADD:
-		return fb(f(a) + f(b)), true
-	case isa.OpFSUB:
-		return fb(f(a) - f(b)), true
-	case isa.OpFMUL:
-		return fb(f(a) * f(b)), true
-	case isa.OpFFMA:
-		// Fused multiply-add: single rounding, like hardware FFMA.
-		return fb(float32(float64(f(a))*float64(f(b)) + float64(f(c)))), true
-	case isa.OpFMIN:
-		return fb(float32(math.Min(float64(f(a)), float64(f(b))))), true
-	case isa.OpFMAX:
-		return fb(float32(math.Max(float64(f(a)), float64(f(b))))), true
-	case isa.OpFNEG:
-		return a ^ 0x80000000, true
-	case isa.OpFABS:
-		return a &^ 0x80000000, true
-	case isa.OpI2F:
-		return fb(float32(int32(a))), true
-	case isa.OpF2I:
-		v := f(a)
-		switch {
-		case math.IsNaN(float64(v)):
-			return 0, true
-		case v >= math.MaxInt32:
-			return uint32(math.MaxInt32), true
-		case v <= math.MinInt32:
-			return 0x80000000, true // int32 min
-		}
-		return uint32(int32(v)), true
-	case isa.OpSELP:
-		if c != 0 {
-			return a, true
-		}
-		return b, true
-	case isa.OpFSIN:
-		return fb(float32(math.Sin(float64(f(a))))), true
-	case isa.OpFCOS:
-		return fb(float32(math.Cos(float64(f(a))))), true
-	case isa.OpFSQRT:
-		return fb(float32(math.Sqrt(float64(f(a))))), true
-	case isa.OpFRSQRT:
-		return fb(float32(1 / math.Sqrt(float64(f(a))))), true
-	case isa.OpFRCP:
-		return fb(float32(1 / float64(f(a)))), true
-	case isa.OpFEX2:
-		return fb(float32(math.Exp2(float64(f(a))))), true
-	case isa.OpFLG2:
-		return fb(float32(math.Log2(float64(f(a))))), true
-	case isa.OpFDIV:
-		return fb(f(a) / f(b)), true
+	case isa.OpSETP:
+		return setpCompute(in.Cmp, in.CmpTy, a, b), true
 	case isa.OpLD, isa.OpST, isa.OpATOM:
 		// Effective address computation (what DMR verifies for memory ops).
 		return a + uint32(in.Off), true
-	case isa.OpSETP:
-		var t bool
-		switch in.CmpTy {
-		case isa.CmpS32:
-			t = cmpOrd(in.Cmp, int64(int32(a)), int64(int32(b)))
-		case isa.CmpU32:
-			t = cmpOrd(in.Cmp, int64(a), int64(b))
-		case isa.CmpF32:
-			fa, fbv := float64(f(a)), float64(f(b))
-			if math.IsNaN(fa) || math.IsNaN(fbv) {
-				t = in.Cmp == isa.CmpNE
-			} else {
-				switch in.Cmp {
-				case isa.CmpEQ:
-					t = fa == fbv
-				case isa.CmpNE:
-					t = fa != fbv
-				case isa.CmpLT:
-					t = fa < fbv
-				case isa.CmpLE:
-					t = fa <= fbv
-				case isa.CmpGT:
-					t = fa > fbv
-				case isa.CmpGE:
-					t = fa >= fbv
-				}
-			}
-		}
-		if t {
-			return 1, true
-		}
-		return 0, true
 	case isa.OpNOP, isa.OpPAND, isa.OpPNOT, isa.OpBRA, isa.OpBAR, isa.OpEXIT:
 		// Control and predicate-file ops have no lane-computable result;
 		// the DMR layer verifies them by other means (or not at all).
 		return 0, false
+	case isa.OpMOV, isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpIMAD, isa.OpIMIN,
+		isa.OpIMAX, isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpNOT, isa.OpSHL,
+		isa.OpSHR, isa.OpSAR, isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFFMA,
+		isa.OpFMIN, isa.OpFMAX, isa.OpFNEG, isa.OpFABS, isa.OpI2F, isa.OpF2I,
+		isa.OpSELP, isa.OpFSIN, isa.OpFCOS, isa.OpFSQRT, isa.OpFRSQRT,
+		isa.OpFRCP, isa.OpFEX2, isa.OpFLG2, isa.OpFDIV:
+		return laneFns[in.Op](a, b, c), true
 	}
 	return 0, false
 }
@@ -273,261 +221,4 @@ func cmpOrd(c isa.CmpOp, a, b int64) bool {
 		return a >= b
 	}
 	return false
-}
-
-// Step executes the instruction at the warp's current PC and updates
-// warp control state, registers, and memory. cfgSegBytes/cfgBanks
-// parameterize the access-cost calculators. perturb may be nil.
-func Step(ctx *Context, prog *isa.Program, w *simt.Warp, r *Regs,
-	cfgSegBytes, cfgBanks int, perturb Perturb) (*Record, error) {
-
-	pc := w.PC()
-	if pc < 0 || pc >= len(prog.Instrs) {
-		return nil, fmt.Errorf("exec: PC %d out of range in kernel %s", pc, prog.Name)
-	}
-	in := &prog.Instrs[pc]
-	active := w.ActiveMask()
-	rec := &Record{PC: pc, Instr: in, Unit: in.Op.Unit(), Active: active}
-
-	// Branches use the guard as the branch condition.
-	if in.Op == isa.OpBRA {
-		rec.IsBranch = true
-		taken := guardMask(r, in.Pred, active)
-		rec.Taken = taken
-		rec.Executing = active
-		switch {
-		case taken == active: // uniform taken (or unconditional)
-			w.Jump(in.Target)
-			if ctx.Metrics != nil {
-				ctx.Metrics.UniformBranches.Inc()
-			}
-		case taken == 0: // uniform not-taken
-			w.Advance()
-			if ctx.Metrics != nil {
-				ctx.Metrics.UniformBranches.Inc()
-			}
-		default:
-			rec.Divergent = true
-			if err := w.Diverge(taken, active, in.Target, pc+1, in.Reconv); err != nil {
-				return nil, fmt.Errorf("exec: kernel %s pc %d: %w", prog.Name, pc, err)
-			}
-			if ctx.Metrics != nil {
-				ctx.Metrics.DivergentBranches.Inc()
-			}
-		}
-		return rec, nil
-	}
-
-	executing := guardMask(r, in.Pred, active)
-	rec.Executing = executing
-
-	//simlint:ignore exhaustive-switch — control and predicate ops return from their cases; every data op deliberately falls through to the shared SP/SFU/LDST path below
-	switch in.Op {
-	case isa.OpEXIT:
-		rec.IsExit = true
-		if executing != 0 {
-			w.Exit(executing)
-		} else {
-			w.Advance()
-		}
-		return rec, nil
-
-	case isa.OpBAR:
-		rec.IsBarrier = true
-		w.AtBarrier = true
-		w.Advance()
-		return rec, nil
-
-	case isa.OpNOP:
-		w.Advance()
-		return rec, nil
-
-	case isa.OpPAND, isa.OpPNOT:
-		var res simt.Mask
-		if in.Op == isa.OpPAND {
-			res = r.Pred[in.PSrcA] & r.Pred[in.PSrcB]
-		} else {
-			res = ^r.Pred[in.PSrcA]
-		}
-		r.Pred[in.PDst] = (r.Pred[in.PDst] &^ executing) | (res & executing)
-		w.Advance()
-		return rec, nil
-	}
-
-	// Data-processing and memory ops: capture sources per lane.
-	nSrc := in.Op.NumSrc()
-	for lane := 0; lane < 32; lane++ {
-		if !executing.Has(lane) {
-			continue
-		}
-		for i := 0; i < nSrc; i++ {
-			rec.SrcVals[i][lane] = r.Operand(in.Src[i], lane)
-		}
-		if in.Op == isa.OpSELP {
-			// Fold the selector predicate into src slot 2 so Compute
-			// stays pure and replayable.
-			if r.Pred[in.PSrcA].Has(lane) {
-				rec.SrcVals[2][lane] = 1
-			} else {
-				rec.SrcVals[2][lane] = 0
-			}
-		}
-	}
-
-	if in.Op.Unit() == isa.UnitLDST {
-		return stepMem(ctx, in, w, r, rec, executing, cfgSegBytes, cfgBanks, perturb)
-	}
-
-	// Pure SP/SFU data op (including SETP).
-	if in.Op == isa.OpSETP {
-		var pres simt.Mask
-		for lane := 0; lane < 32; lane++ {
-			if !executing.Has(lane) {
-				continue
-			}
-			v, _ := Compute(in, rec.SrcVals[0][lane], rec.SrcVals[1][lane], 0)
-			if perturb != nil {
-				v = perturb(lane, rec.Unit, v)
-			}
-			rec.Vals[lane] = v
-			if v != 0 {
-				pres |= 1 << uint(lane)
-			}
-		}
-		r.Pred[in.PDst] = (r.Pred[in.PDst] &^ executing) | (pres & executing)
-		w.Advance()
-		return rec, nil
-	}
-
-	for lane := 0; lane < 32; lane++ {
-		if !executing.Has(lane) {
-			continue
-		}
-		v, ok := Compute(in, rec.SrcVals[0][lane], rec.SrcVals[1][lane], rec.SrcVals[2][lane])
-		if !ok {
-			return nil, fmt.Errorf("exec: kernel %s pc %d: op %s not computable", prog.Name, pc, in.Op)
-		}
-		if perturb != nil {
-			v = perturb(lane, rec.Unit, v)
-		}
-		rec.Vals[lane] = v
-	}
-	if in.Op.HasDst() {
-		rec.DstValid, rec.Dst = true, in.Dst
-		dst := &r.GPR[in.Dst]
-		for lane := 0; lane < 32; lane++ {
-			if executing.Has(lane) {
-				dst[lane] = rec.Vals[lane]
-			}
-		}
-	}
-	w.Advance()
-	return rec, nil
-}
-
-func stepMem(ctx *Context, in *isa.Instr, w *simt.Warp, r *Regs, rec *Record,
-	executing simt.Mask, segBytes, banks int, perturb Perturb) (*Record, error) {
-
-	rec.IsMem = true
-	rec.IsStore = in.Op == isa.OpST
-	for lane := 0; lane < 32; lane++ {
-		if !executing.Has(lane) {
-			continue
-		}
-		addr, _ := Compute(in, rec.SrcVals[0][lane], 0, 0)
-		if perturb != nil {
-			addr = perturb(lane, isa.UnitLDST, addr)
-		}
-		rec.Addrs[lane] = addr
-		rec.Vals[lane] = addr
-	}
-
-	switch in.Space {
-	case isa.SpaceShared:
-		rec.BankSer = mem.BankConflictDegree(rec.Addrs[:], uint32(executing), banks)
-		rec.Segments = 1
-		if ctx.Metrics != nil && rec.BankSer > 1 {
-			ctx.Metrics.SharedBankExtra.Add(int64(rec.BankSer - 1))
-		}
-	case isa.SpaceGlobal, isa.SpaceParam, isa.SpaceLocal:
-		rec.Segments = mem.CoalesceSegments(rec.Addrs[:], uint32(executing), segBytes)
-		rec.BankSer = 1
-	}
-
-	load32 := func(addr uint32) (uint32, error) {
-		switch in.Space {
-		case isa.SpaceShared:
-			return ctx.Shared.Load32(addr)
-		case isa.SpaceParam:
-			return ctx.Params.Load32(addr)
-		case isa.SpaceGlobal, isa.SpaceLocal:
-			return ctx.Global.Load32(addr)
-		}
-		return 0, fmt.Errorf("exec: load from unknown space %d", in.Space)
-	}
-	store32 := func(addr, v uint32) error {
-		switch in.Space {
-		case isa.SpaceShared:
-			return ctx.Shared.Store32(addr, v)
-		case isa.SpaceParam:
-			return fmt.Errorf("exec: store to param space")
-		case isa.SpaceGlobal, isa.SpaceLocal:
-			return ctx.Global.Store32(addr, v)
-		}
-		return fmt.Errorf("exec: store to unknown space %d", in.Space)
-	}
-
-	switch in.Op {
-	case isa.OpLD:
-		rec.DstValid, rec.Dst = true, in.Dst
-		dst := &r.GPR[in.Dst]
-		for lane := 0; lane < 32; lane++ {
-			if !executing.Has(lane) {
-				continue
-			}
-			v, err := load32(rec.Addrs[lane])
-			if err != nil {
-				return nil, fmt.Errorf("exec: pc %d lane %d: %w", rec.PC, lane, err)
-			}
-			dst[lane] = v
-		}
-	case isa.OpST:
-		if ctx.Shadow && in.Space != isa.SpaceShared {
-			break // redundant block: global stores go to its shadow buffer
-		}
-		for lane := 0; lane < 32; lane++ {
-			if !executing.Has(lane) {
-				continue
-			}
-			if err := store32(rec.Addrs[lane], rec.SrcVals[1][lane]); err != nil {
-				return nil, fmt.Errorf("exec: pc %d lane %d: %w", rec.PC, lane, err)
-			}
-		}
-	case isa.OpATOM:
-		rec.DstValid, rec.Dst = true, in.Dst
-		dst := &r.GPR[in.Dst]
-		for lane := 0; lane < 32; lane++ {
-			if !executing.Has(lane) {
-				continue
-			}
-			var old uint32
-			var err error
-			switch {
-			case in.Space == isa.SpaceShared:
-				old, err = ctx.Shared.AtomicAdd32(rec.Addrs[lane], rec.SrcVals[1][lane])
-			case ctx.Shadow:
-				old, err = ctx.Global.Load32(rec.Addrs[lane]) // read-only in shadow mode
-			default:
-				old, err = ctx.Global.AtomicAdd32(rec.Addrs[lane], rec.SrcVals[1][lane])
-			}
-			if err != nil {
-				return nil, fmt.Errorf("exec: pc %d lane %d: %w", rec.PC, lane, err)
-			}
-			dst[lane] = old
-		}
-	default:
-		return nil, fmt.Errorf("exec: pc %d: %s is not a memory op", rec.PC, in.Op)
-	}
-	w.Advance()
-	return rec, nil
 }

@@ -191,11 +191,17 @@ func TestComputeAlgebraQuick(t *testing.T) {
 	}
 }
 
-// --- Step-level tests ---
+// --- Machine-level tests ---
 
-func stepProgram(t *testing.T, src *isa.Program, width int, ctx *Context, perturb Perturb) (*simt.Warp, *Regs, []*Record) {
+// newTestMachine compiles src and builds a Machine plus a ready warp
+// state over the given memories.
+func newTestMachine(t *testing.T, src *isa.Program, width int, mm Mem, perturb Perturb) (*Machine, *WarpState) {
 	t.Helper()
-	w := simt.NewWarp(0, 0, width)
+	c, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(c, Opts{SegBytes: 128, Banks: 32, Perturb: perturb})
 	r := NewRegs(src.NumRegs)
 	var lane [32]uint32
 	for i := 0; i < 32; i++ {
@@ -203,22 +209,30 @@ func stepProgram(t *testing.T, src *isa.Program, width int, ctx *Context, pertur
 	}
 	r.SetSpecial(isa.RegTIDX, lane)
 	r.SetSpecial(isa.RegLANEID, lane)
+	ws := &WarpState{Ctl: simt.NewWarp(0, 0, width), Regs: r, Mem: mm}
+	return m, ws
+}
+
+func stepProgram(t *testing.T, src *isa.Program, width int, mm Mem, perturb Perturb) (*simt.Warp, *Regs, []*Record) {
+	t.Helper()
+	m, ws := newTestMachine(t, src, width, mm, perturb)
 	var recs []*Record
-	for steps := 0; !w.Done(); steps++ {
+	for steps := 0; !ws.Ctl.Done(); steps++ {
 		if steps > 10000 {
 			t.Fatal("program did not terminate")
 		}
-		rec, err := Step(ctx, src, w, r, 128, 32, perturb)
+		rec, err := m.Step(ws)
 		if err != nil {
 			t.Fatal(err)
 		}
-		recs = append(recs, rec)
+		cp := *rec // Machine reuses its Record; keep a value copy
+		recs = append(recs, &cp)
 	}
-	return w, r, recs
+	return ws.Ctl, ws.Regs, recs
 }
 
-func newCtx() *Context {
-	return &Context{
+func newCtx() Mem {
+	return Mem{
 		Global: mem.NewGlobal(1 << 16),
 		Shared: mem.NewShared(1 << 12),
 		Params: mem.NewParams(1, 2, 3),
@@ -244,8 +258,8 @@ func TestStepWritesPerLane(t *testing.T) {
 	)
 	_, r, _ := stepProgram(t, p, 32, newCtx(), nil)
 	for lane := 0; lane < 32; lane++ {
-		if r.GPR[1][lane] != uint32(lane+100) {
-			t.Fatalf("lane %d r1 = %d", lane, r.GPR[1][lane])
+		if r.Read(1, lane) != uint32(lane+100) {
+			t.Fatalf("lane %d r1 = %d", lane, r.Read(1, lane))
 		}
 	}
 }
@@ -266,8 +280,8 @@ func TestStepGuardMasksWrites(t *testing.T) {
 		if lane < 8 {
 			want = 1
 		}
-		if r.GPR[1][lane] != want {
-			t.Fatalf("lane %d r1 = %d, want %d", lane, r.GPR[1][lane], want)
+		if r.Read(1, lane) != want {
+			t.Fatalf("lane %d r1 = %d, want %d", lane, r.Read(1, lane), want)
 		}
 	}
 	if recs[2].Executing.Count() != 8 {
@@ -292,8 +306,8 @@ func TestStepMemoryRoundTrip(t *testing.T) {
 	)
 	_, r, recs := stepProgram(t, p, 32, ctx, nil)
 	for lane := 0; lane < 32; lane++ {
-		if r.GPR[2][lane] != uint32(lane) {
-			t.Fatalf("lane %d loaded %d", lane, r.GPR[2][lane])
+		if r.Read(2, lane) != uint32(lane) {
+			t.Fatalf("lane %d loaded %d", lane, r.Read(2, lane))
 		}
 	}
 	st := recs[3]
@@ -319,7 +333,7 @@ func TestStepSharedAndAtomic(t *testing.T) {
 	// Old values must form a permutation of 0..31.
 	seen := make(map[uint32]bool)
 	for lane := 0; lane < 32; lane++ {
-		seen[r.GPR[1][lane]] = true
+		seen[r.Read(1, lane)] = true
 	}
 	if len(seen) != 32 {
 		t.Errorf("atomic old values not unique: %d distinct", len(seen))
@@ -333,8 +347,8 @@ func TestStepParamLoad(t *testing.T) {
 		isa.Instr{Op: isa.OpEXIT},
 	)
 	_, r, _ := stepProgram(t, p, 32, ctx, nil)
-	if r.GPR[0][0] != 2 {
-		t.Errorf("param[4] = %d, want 2", r.GPR[0][0])
+	if r.Read(0, 0) != 2 {
+		t.Errorf("param[4] = %d, want 2", r.Read(0, 0))
 	}
 }
 
@@ -385,10 +399,10 @@ func TestStepPerturbHook(t *testing.T) {
 	if flips == 0 {
 		t.Fatal("perturb hook never fired")
 	}
-	if r.GPR[0][3] != 3^1 {
-		t.Errorf("lane 3 value %d, want corrupted %d", r.GPR[0][3], 3^1)
+	if r.Read(0, 3) != 3^1 {
+		t.Errorf("lane 3 value %d, want corrupted %d", r.Read(0, 3), 3^1)
 	}
-	if r.GPR[0][4] != 4 {
+	if r.Read(0, 4) != 4 {
 		t.Error("uninjected lane corrupted")
 	}
 }
@@ -400,12 +414,11 @@ func TestStepMemFaultSurfaces(t *testing.T) {
 		isa.Instr{Op: isa.OpLD, Space: isa.SpaceGlobal, Dst: 1, Src: [3]isa.Operand{isa.RegOp(0)}},
 		isa.Instr{Op: isa.OpEXIT},
 	)
-	w := simt.NewWarp(0, 0, 1)
-	r := NewRegs(p.NumRegs)
-	if _, err := Step(ctx, p, w, r, 128, 32, nil); err != nil {
+	m, ws := newTestMachine(t, p, 1, ctx, nil)
+	if _, err := m.Step(ws); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Step(ctx, p, w, r, 128, 32, nil); err == nil {
+	if _, err := m.Step(ws); err == nil {
 		t.Error("out-of-range load must surface an error")
 	}
 }
@@ -430,8 +443,8 @@ func TestStepBranchRecords(t *testing.T) {
 		if lane >= 16 {
 			want = 1 // fall-through lanes ran the iadd
 		}
-		if r.GPR[1][lane] != want {
-			t.Fatalf("lane %d r1 = %d, want %d", lane, r.GPR[1][lane], want)
+		if r.Read(1, lane) != want {
+			t.Fatalf("lane %d r1 = %d, want %d", lane, r.Read(1, lane), want)
 		}
 	}
 }
@@ -456,8 +469,8 @@ func TestStepPredicateOps(t *testing.T) {
 		if lane < 8 {
 			want = 10
 		}
-		if r.GPR[1][lane] != want {
-			t.Fatalf("lane %d selp = %d, want %d", lane, r.GPR[1][lane], want)
+		if r.Read(1, lane) != want {
+			t.Fatalf("lane %d selp = %d, want %d", lane, r.Read(1, lane), want)
 		}
 		if r.Pred[4].Has(lane) == (lane < 8) {
 			t.Fatalf("lane %d pnot wrong", lane)
@@ -470,13 +483,12 @@ func TestStepBarrierRecord(t *testing.T) {
 		isa.Instr{Op: isa.OpBAR},
 		isa.Instr{Op: isa.OpEXIT},
 	)
-	w := simt.NewWarp(0, 0, 32)
-	r := NewRegs(p.NumRegs)
-	rec, err := Step(newCtx(), p, w, r, 128, 32, nil)
+	m, ws := newTestMachine(t, p, 32, newCtx(), nil)
+	rec, err := m.Step(ws)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rec.IsBarrier || !w.AtBarrier {
+	if !rec.IsBarrier || !ws.Ctl.AtBarrier {
 		t.Error("barrier record/state wrong")
 	}
 	if rec.Unit != isa.UnitCTRL {
@@ -505,7 +517,7 @@ func TestStepGuardedExitRecord(t *testing.T) {
 		t.Fatal("guarded exit record missing")
 	}
 	for lane := 16; lane < 32; lane++ {
-		if r.GPR[1][lane] != uint32(lane+1) {
+		if r.Read(1, lane) != uint32(lane+1) {
 			t.Fatalf("surviving lane %d did not run the tail", lane)
 		}
 	}
@@ -513,10 +525,9 @@ func TestStepGuardedExitRecord(t *testing.T) {
 
 func TestStepBadPC(t *testing.T) {
 	p := mustProg(t, isa.Instr{Op: isa.OpNOP}, isa.Instr{Op: isa.OpEXIT})
-	w := simt.NewWarp(0, 0, 32)
-	w.Jump(99)
-	r := NewRegs(p.NumRegs)
-	if _, err := Step(newCtx(), p, w, r, 128, 32, nil); err == nil {
+	m, ws := newTestMachine(t, p, 32, newCtx(), nil)
+	ws.Ctl.Jump(99)
+	if _, err := m.Step(ws); err == nil {
 		t.Error("out-of-range PC must error")
 	}
 }

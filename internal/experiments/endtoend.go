@@ -200,7 +200,7 @@ func (e *Engine) Campaign(ctx context.Context, benchName string, n int, seed int
 
 	outcomes, err := runner.Map(ctx, e.pool(), n, func(ctx context.Context, i int) (campaignOutcome, error) {
 		inj := fault.NewInjector(faults[i])
-		g, err := sim.New(cfg, 0)
+		g, err := sim.New(cfg, b.GPUMemBytes())
 		if err != nil {
 			return campaignOutcome{}, err
 		}

@@ -54,7 +54,7 @@ func (e *Engine) runGrid(ctx context.Context, cfgs []arch.Config, opts sim.Launc
 	opts.Metrics = e.Metrics
 	flat, err := runner.Map(ctx, e.pool(), len(cfgs)*nb, func(ctx context.Context, i int) (*stats.Stats, error) {
 		cfg, b := cfgs[i/nb], bs[i%nb]
-		g, err := sim.New(cfg, 0)
+		g, err := sim.New(cfg, b.GPUMemBytes())
 		if err != nil {
 			return nil, err
 		}

@@ -175,7 +175,7 @@ func (e *Engine) Fig8b(ctx context.Context) (*Fig8bResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			g, err := sim.New(arch.PaperConfig(), 0)
+			g, err := sim.New(arch.PaperConfig(), b.GPUMemBytes())
 			if err != nil {
 				return nil, err
 			}

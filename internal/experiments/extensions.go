@@ -127,7 +127,7 @@ func runBench(ctx context.Context, name string, cfg arch.Config, opts sim.Launch
 	if err != nil {
 		return nil, err
 	}
-	g, err := sim.New(cfg, 0)
+	g, err := sim.New(cfg, b.GPUMemBytes())
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +271,7 @@ func (e *Engine) DetectionLatency(ctx context.Context, benchName string, trials 
 	results, err := runner.Map(ctx, e.pool(), trials, func(ctx context.Context, i int) (latencyTrial, error) {
 		inj := fault.NewInjector(faults[i])
 		var firstDetect int64 = -1
-		g, err := sim.New(cfg, 0)
+		g, err := sim.New(cfg, b.GPUMemBytes())
 		if err != nil {
 			return latencyTrial{}, err
 		}

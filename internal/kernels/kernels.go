@@ -42,6 +42,21 @@ type Benchmark struct {
 	Desc     string
 	// Build stages the benchmark on the GPU and returns its Run.
 	Build func(g *sim.GPU) (*Run, error)
+	// MemBytes overrides the device global-memory size to provision
+	// (0 = the suite default; see GPUMemBytes).
+	MemBytes int
+}
+
+// GPUMemBytes returns the device global-memory size to provision for
+// the benchmark. The Table 4 inputs are scaled to fit comfortably in
+// 2 MB, and campaign runners create one fresh GPU per trial — zeroing
+// the simulator's 64 MB default each time would dominate campaign wall
+// time, so runners provision only what the workload can touch.
+func (b *Benchmark) GPUMemBytes() int {
+	if b.MemBytes > 0 {
+		return b.MemBytes
+	}
+	return 2 << 20
 }
 
 // Execute builds and runs the benchmark on g, merging statistics across

@@ -225,14 +225,28 @@ func CoalesceSegments(addrs []uint32, active uint32, segBytes int) int {
 	if segBytes <= 0 {
 		segBytes = 128
 	}
-	seen := make(map[uint32]struct{}, 4)
+	// A warp has at most 32 lanes, so a fixed dedup buffer keeps the
+	// per-memory-instruction issue path allocation-free.
+	var segs [32]uint32
+	n := 0
 	for lane, a := range addrs {
 		if active&(1<<uint(lane)) == 0 {
 			continue
 		}
-		seen[a/uint32(segBytes)] = struct{}{}
+		s := a / uint32(segBytes)
+		dup := false
+		for i := 0; i < n; i++ {
+			if segs[i] == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			segs[n] = s
+			n++
+		}
 	}
-	return len(seen)
+	return n
 }
 
 // BankConflictDegree returns the maximum number of active lanes mapping
@@ -243,26 +257,65 @@ func BankConflictDegree(addrs []uint32, active uint32, numBanks int) int {
 	if numBanks <= 0 {
 		numBanks = 32
 	}
-	perBank := make(map[uint32]map[uint32]struct{}, 8)
-	max := 0
+	// Collect the distinct words touched (same-word accesses broadcast),
+	// counting words per bank as they are discovered. At most 32 lanes
+	// participate, so fixed buffers beat per-instruction map allocations.
+	var words [32]uint32
+	var perBank [32]uint8
+	useCnt := numBanks <= len(perBank)
+	n := 0
+	max := 1
 	for lane, a := range addrs {
 		if active&(1<<uint(lane)) == 0 {
 			continue
 		}
-		word := a / 4
-		bank := word % uint32(numBanks)
-		m := perBank[bank]
-		if m == nil {
-			m = make(map[uint32]struct{}, 2)
-			perBank[bank] = m
+		w := a / 4
+		dup := false
+		for i := 0; i < n; i++ {
+			if words[i] == w {
+				dup = true
+				break
+			}
 		}
-		m[word] = struct{}{}
-		if len(m) > max {
-			max = len(m)
+		if dup {
+			continue
+		}
+		words[n] = w
+		n++
+		if useCnt {
+			b := w % uint32(numBanks)
+			perBank[b]++
+			if c := int(perBank[b]); c > max {
+				max = c
+			}
 		}
 	}
-	if max == 0 {
-		return 1
+	if useCnt {
+		return max
+	}
+	// Oversized bank counts (beyond any real shared memory): fall back
+	// to a pairwise scan over the distinct words.
+	for i := 0; i < n; i++ {
+		b := words[i] % uint32(numBanks)
+		counted := false
+		for j := 0; j < i; j++ {
+			if words[j]%uint32(numBanks) == b {
+				counted = true
+				break
+			}
+		}
+		if counted {
+			continue
+		}
+		c := 1
+		for j := i + 1; j < n; j++ {
+			if words[j]%uint32(numBanks) == b {
+				c++
+			}
+		}
+		if c > max {
+			max = c
+		}
 	}
 	return max
 }

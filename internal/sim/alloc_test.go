@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"warped/internal/arch"
+	"warped/internal/isa"
+)
+
+// loopKernel builds a kernel whose single warp runs a uniform counted
+// loop of the given trip count, touching the SP, SFU, LD/ST and branch
+// paths each iteration.
+func loopKernel(trips uint32) *Kernel {
+	p := &isa.Program{Name: "alloc-loop", NumRegs: 8, Labels: map[string]int{}}
+	add := func(in isa.Instr) {
+		if in.Pred == (isa.PredRef{}) {
+			in.Pred = isa.AlwaysPred()
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	add(isa.Instr{Op: isa.OpMOV, Dst: 0, Src: [3]isa.Operand{isa.ImmOp(0)}})       // i = 0
+	add(isa.Instr{Op: isa.OpSHL, Dst: 1, Src: [3]isa.Operand{isa.RegOp(isa.RegTIDX), isa.ImmOp(2)}})
+	add(isa.Instr{Op: isa.OpIADD, Dst: 1, Src: [3]isa.Operand{isa.RegOp(1), isa.ImmOp(256)}})
+	// loop body (pc 3..7)
+	add(isa.Instr{Op: isa.OpIADD, Dst: 0, Src: [3]isa.Operand{isa.RegOp(0), isa.ImmOp(1)}})
+	add(isa.Instr{Op: isa.OpST, Space: isa.SpaceGlobal, Src: [3]isa.Operand{isa.RegOp(1), isa.RegOp(0)}})
+	add(isa.Instr{Op: isa.OpLD, Space: isa.SpaceGlobal, Dst: 2, Src: [3]isa.Operand{isa.RegOp(1)}})
+	add(isa.Instr{Op: isa.OpFRCP, Dst: 3, Src: [3]isa.Operand{isa.RegOp(2)}})
+	add(isa.Instr{Op: isa.OpSETP, Cmp: isa.CmpLT, CmpTy: isa.CmpU32, PDst: 1,
+		Src: [3]isa.Operand{isa.RegOp(0), isa.ImmOp(trips)}})
+	add(isa.Instr{Op: isa.OpBRA, Target: 3, Pred: isa.PredRef{Index: 1}})
+	add(isa.Instr{Op: isa.OpEXIT})
+	return &Kernel{Prog: p, GridX: 1, GridY: 1, BlockX: 32, BlockY: 1}
+}
+
+// TestLaunchSteadyStateZeroAllocs pins the issue/execute/DMR hot loop
+// at zero allocations per instruction: two launches that differ only in
+// loop trip count must allocate exactly the same, so every allocation
+// is per-launch setup and none is per-instruction.
+func TestLaunchSteadyStateZeroAllocs(t *testing.T) {
+	perLaunch := func(trips uint32) float64 {
+		cfg := arch.WarpedDMRConfig()
+		cfg.NumSMs = 1
+		g, err := New(cfg, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := loopKernel(trips)
+		return testing.AllocsPerRun(10, func() {
+			if _, err := g.Launch(k, LaunchOpts{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := perLaunch(64)
+	long := perLaunch(1024)
+	// ~4800 extra warp instructions between the two runs; any per-
+	// instruction allocation shows up as thousands of extra objects.
+	if delta := long - short; delta > 1 {
+		t.Errorf("longer kernel allocates %.1f more objects per launch (short %.1f, long %.1f); issue path is allocating per instruction",
+			delta, short, long)
+	}
+}

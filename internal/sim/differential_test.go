@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -58,6 +59,33 @@ func genProgram(rng *rand.Rand, outBase uint32) *isa.Program {
 	return p
 }
 
+// refWalk functionally executes prog on one 32-wide warp (tid = lane)
+// over the given memories — the architectural reference the timed
+// pipeline is compared against.
+func refWalk(prog *isa.Program, mm exec.Mem) error {
+	c, err := exec.Compile(prog)
+	if err != nil {
+		return err
+	}
+	m := exec.NewMachine(c, exec.Opts{SegBytes: 128, Banks: 32})
+	r := exec.NewRegs(prog.NumRegs)
+	var tid [32]uint32
+	for i := range tid {
+		tid[i] = uint32(i)
+	}
+	r.SetSpecial(isa.RegTIDX, tid)
+	ws := &exec.WarpState{Ctl: simt.NewWarp(0, 0, 32), Regs: r, Mem: mm}
+	for steps := 0; !ws.Ctl.Done(); steps++ {
+		if steps > 200000 {
+			return fmt.Errorf("reference walk did not terminate")
+		}
+		if _, err := m.Step(ws); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TestDifferentialPipelineVsFunctional: the full timing pipeline
 // (scheduler, scoreboard, units, DMR engine) must produce exactly the
 // architectural results of a plain functional walk of the same program.
@@ -68,23 +96,14 @@ func TestDifferentialPipelineVsFunctional(t *testing.T) {
 		prog := genProgram(rng, outBase)
 
 		// Reference: direct functional execution, no timing.
-		ref := exec.NewRegs(prog.NumRegs)
-		var tid [32]uint32
-		for i := range tid {
-			tid[i] = uint32(i)
-		}
-		ref.SetSpecial(isa.RegTIDX, tid)
-		refCtx := &exec.Context{
+		refCtx := exec.Mem{
 			Global: mem.NewGlobal(1 << 16),
 			Shared: mem.NewShared(64),
 			Params: mem.NewParams(),
 		}
-		w := simt.NewWarp(0, 0, 32)
-		for !w.Done() {
-			if _, err := exec.Step(refCtx, prog, w, ref, 128, 32, nil); err != nil {
-				t.Log(err)
-				return false
-			}
+		if err := refWalk(prog, refCtx); err != nil {
+			t.Log(err)
+			return false
 		}
 
 		// Full pipeline.
@@ -168,18 +187,9 @@ func TestDifferentialFloatOps(t *testing.T) {
 		}
 		add(isa.Instr{Op: isa.OpEXIT})
 
-		ref := exec.NewRegs(p.NumRegs)
-		var tid [32]uint32
-		for i := range tid {
-			tid[i] = uint32(i)
-		}
-		ref.SetSpecial(isa.RegTIDX, tid)
-		refCtx := &exec.Context{Global: mem.NewGlobal(1 << 16), Shared: mem.NewShared(64), Params: mem.NewParams()}
-		w := simt.NewWarp(0, 0, 32)
-		for !w.Done() {
-			if _, err := exec.Step(refCtx, p, w, ref, 128, 32, nil); err != nil {
-				t.Fatal(err)
-			}
+		refCtx := exec.Mem{Global: mem.NewGlobal(1 << 16), Shared: mem.NewShared(64), Params: mem.NewParams()}
+		if err := refWalk(p, refCtx); err != nil {
+			t.Fatal(err)
 		}
 		g, err := New(arch.WarpedDMRConfig(), 1<<16)
 		if err != nil {

@@ -9,9 +9,7 @@ import (
 	"warped/internal/arch"
 	"warped/internal/asm"
 	"warped/internal/exec"
-	"warped/internal/isa"
 	"warped/internal/mem"
-	"warped/internal/simt"
 )
 
 // cfgen emits random structured programs in assembly text: straight-line
@@ -138,21 +136,9 @@ func TestFuzzControlFlowDifferential(t *testing.T) {
 		}
 
 		// Reference functional walk.
-		ref := exec.NewRegs(prog.NumRegs)
-		var tid [32]uint32
-		for i := range tid {
-			tid[i] = uint32(i)
-		}
-		ref.SetSpecial(isa.RegTIDX, tid)
-		refCtx := &exec.Context{Global: mem.NewGlobal(1 << 16), Shared: mem.NewShared(64), Params: mem.NewParams()}
-		w := simt.NewWarp(0, 0, 32)
-		for steps := 0; !w.Done(); steps++ {
-			if steps > 200000 {
-				t.Fatalf("trial %d: reference walk did not terminate\n%s", trial, src)
-			}
-			if _, err := exec.Step(refCtx, prog, w, ref, 128, 32, nil); err != nil {
-				t.Fatalf("trial %d: %v", trial, err)
-			}
+		refCtx := exec.Mem{Global: mem.NewGlobal(1 << 16), Shared: mem.NewShared(64), Params: mem.NewParams()}
+		if err := refWalk(prog, refCtx); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
 		}
 
 		// Full pipeline under Warped-DMR.

@@ -8,6 +8,7 @@ import (
 	"warped/internal/arch"
 	"warped/internal/cache"
 	"warped/internal/core"
+	"warped/internal/exec"
 	"warped/internal/isa"
 	"warped/internal/mem"
 	"warped/internal/metrics"
@@ -201,6 +202,13 @@ func (g *GPU) LaunchContext(ctx context.Context, k *Kernel, opts LaunchOpts) (*s
 			}
 		}
 	}
+	// Pre-decode the program once per launch: every SM executes the same
+	// flat stream of bound step/compute functions, so the per-cycle issue
+	// path never consults the isa-level instruction encoding.
+	comp, err := exec.Compile(k.Prog)
+	if err != nil {
+		return nil, err
+	}
 	// Resolve instrument sets once per launch; all SMs of the launch
 	// share them (bumps are atomic). With opts.Metrics nil these are
 	// all-nil no-op sets, so the hot path pays only the nil branch.
@@ -208,11 +216,11 @@ func (g *GPU) LaunchContext(ctx context.Context, k *Kernel, opts LaunchOpts) (*s
 	execMet := metrics.ForExec(opts.Metrics)
 	dmrMet := metrics.ForDMR(opts.Metrics, g.Cfg.WarpSize, g.Cfg.ClusterSize)
 	for i := range sms {
-		perSM[i] = &stats.Stats{}
-		sms[i] = newSM(i, g, perSM[i], opts.Fault, onError)
+		sms[i] = newSM(i, g, comp, opts.Fault, onError)
 		sms[i].met = simMet
-		sms[i].emet = execMet
+		sms[i].machine.SetMetrics(execMet)
 		sms[i].engine.SetMetrics(dmrMet)
+		perSM[i] = sms[i].stats()
 	}
 	if opts.TrackRAW {
 		// Paper Fig. 8b tracks warp 1 ("thread 32"), falling back to
@@ -259,7 +267,7 @@ func (g *GPU) LaunchContext(ctx context.Context, k *Kernel, opts LaunchOpts) (*s
 		}
 		anyBusy := false
 		for _, s := range sms {
-			if s.tick(k, g.now) {
+			if s.tick(g.now) {
 				anyBusy = true
 			}
 			if s.err != nil {

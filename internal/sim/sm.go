@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"warped/internal/arch"
 	"warped/internal/cache"
@@ -29,8 +30,7 @@ type FaultHook interface {
 
 // warpCtx is one resident warp: architectural state plus scoreboard.
 type warpCtx struct {
-	warp  *simt.Warp
-	regs  *exec.Regs
+	ws    exec.WarpState // control, registers, memories
 	block *blockCtx
 	gid   int // SM-unique warp id
 
@@ -51,11 +51,13 @@ type blockCtx struct {
 
 // sm is one streaming multiprocessor.
 type sm struct {
-	id     int
-	cfg    arch.Config
-	gpu    *GPU
-	st     *stats.Stats
-	engine *core.Engine
+	id      int
+	cfg     arch.Config
+	gpu     *GPU
+	st      stats.Stats // plain counters, merged into the launch total at drain
+	engine  *core.Engine
+	machine *exec.Machine  // per-launch execution machine (pre-decoded stream)
+	code    []exec.Decoded // the machine's stream, indexed by PC
 
 	blocks    []*blockCtx
 	warps     []*warpCtx // issue candidates, in dispatch (age) order
@@ -70,29 +72,55 @@ type sm struct {
 	l1        *cache.Cache // per-SM L1 data cache (nil when off)
 	err       error
 
-	met  *metrics.Sim  // never nil; shared across the launch's SMs
-	emet *metrics.Exec // never nil; carried on every exec.Context
+	laneFor  [32]uint8  // thread slot -> physical lane (pre-resolved mapping)
+	segBuf   [32]uint32 // scratch for segBases
+	issueNow int64      // cycle of the in-flight Machine.Step (fault hook)
+
+	met *metrics.Sim // never nil; shared across the launch's SMs
 }
 
-func newSM(id int, g *GPU, st *stats.Stats, fault FaultHook, onError func(core.ErrorEvent)) *sm {
+func newSM(id int, g *GPU, comp *exec.Compiled, fault FaultHook, onError func(core.ErrorEvent)) *sm {
 	s := &sm{
-		id: id, cfg: g.Cfg, gpu: g, st: st, greedy: [2]int{-1, -1},
-		met:  metrics.ForSim(nil),
-		emet: metrics.ForExec(nil),
+		id: id, cfg: g.Cfg, gpu: g, greedy: [2]int{-1, -1},
+		met: metrics.ForSim(nil),
+	}
+	for t := 0; t < 32; t++ {
+		s.laneFor[t] = uint8(g.Cfg.LaneForThread(t))
 	}
 	if g.Cfg.ModelCaches {
 		s.l1 = cache.New(g.Cfg.L1)
 	}
-	var perturb core.PerturbPhys
+	var perturb exec.Perturb
 	if fault != nil {
-		perturb = func(lane int, unit isa.UnitClass, golden uint32) uint32 {
+		perturb = func(thread int, unit isa.UnitClass, golden uint32) uint32 {
+			lane := int(s.laneFor[thread])
+			v, changed := fault.Perturb(s.id, s.issueNow, lane, unit, golden)
+			if changed {
+				s.st.FaultsActivated++
+			}
+			return v
+		}
+	}
+	s.machine = exec.NewMachine(comp, exec.Opts{
+		SegBytes: g.Cfg.CoalesceBytes,
+		Banks:    g.Cfg.NumSharedBanks,
+		Metrics:  metrics.ForExec(nil),
+		Perturb:  perturb,
+	})
+	s.code = s.machine.Code()
+	var perturbPhys core.PerturbPhys
+	if fault != nil {
+		perturbPhys = func(lane int, unit isa.UnitClass, golden uint32) uint32 {
 			v, _ := fault.Perturb(id, g.now, lane, unit, golden)
 			return v
 		}
 	}
-	s.engine = core.NewEngine(g.Cfg, id, st, perturb, onError)
+	s.engine = core.NewEngine(g.Cfg, id, &s.st, perturbPhys, onError)
 	return s
 }
+
+// stats returns the SM's accumulated launch counters.
+func (s *sm) stats() *stats.Stats { return &s.st }
 
 // canHost reports whether the SM has capacity for another block:
 // block slots, thread contexts, register file, and shared memory all
@@ -124,6 +152,8 @@ func (s *sm) canHost(k *Kernel) bool {
 }
 
 // host installs a block on the SM, building its warps and registers.
+// Register state is one struct-of-arrays slab per block (exec.RegFile),
+// carved into per-warp views.
 func (s *sm) host(k *Kernel, blockID int, trackRAWWarp bool) {
 	threads := k.ThreadsPerBlock()
 	shared := k.SharedBytes
@@ -137,14 +167,18 @@ func (s *sm) host(k *Kernel, blockID int, trackRAWWarp bool) {
 	}
 	b := &blockCtx{id: logical, shared: mem.NewShared(shared), threads: threads, shadow: shadow}
 	nWarps := (threads + s.cfg.WarpSize - 1) / s.cfg.WarpSize
+	rf := exec.NewRegFile(nWarps, k.Prog.NumRegs)
 	for wi := 0; wi < nWarps; wi++ {
 		width := s.cfg.WarpSize
 		if rem := threads - wi*s.cfg.WarpSize; rem < width {
 			width = rem
 		}
 		wc := &warpCtx{
-			warp:  simt.NewWarp(wi, blockID, width),
-			regs:  exec.NewRegs(k.Prog.NumRegs),
+			ws: exec.WarpState{
+				Ctl:  simt.NewWarp(wi, blockID, width),
+				Regs: rf.Warp(wi),
+				Mem:  exec.Mem{Global: s.gpu.Mem, Shared: b.shared, Params: k.Params, Shadow: shadow},
+			},
 			block: b,
 			gid:   s.gpu.nextWarpGID(),
 		}
@@ -179,25 +213,28 @@ func (s *sm) fillSpecials(k *Kernel, wc *warpCtx, blockID, warpIdx, width int) {
 		laneid[lane] = uint32(lane)
 		warpid[lane] = uint32(warpIdx)
 	}
-	wc.regs.SetSpecial(isa.RegTIDX, tidx)
-	wc.regs.SetSpecial(isa.RegTIDY, tidy)
-	wc.regs.SetSpecial(isa.RegNTIDX, ntidx)
-	wc.regs.SetSpecial(isa.RegNTIDY, ntidy)
-	wc.regs.SetSpecial(isa.RegCTAIDX, ctaidx)
-	wc.regs.SetSpecial(isa.RegCTAIDY, ctaidy)
-	wc.regs.SetSpecial(isa.RegNCTAIDX, nctaidx)
-	wc.regs.SetSpecial(isa.RegNCTAIDY, nctaidy)
-	wc.regs.SetSpecial(isa.RegLANEID, laneid)
-	wc.regs.SetSpecial(isa.RegWARPID, warpid)
+	r := wc.ws.Regs
+	r.SetSpecial(isa.RegTIDX, tidx)
+	r.SetSpecial(isa.RegTIDY, tidy)
+	r.SetSpecial(isa.RegNTIDX, ntidx)
+	r.SetSpecial(isa.RegNTIDY, ntidy)
+	r.SetSpecial(isa.RegCTAIDX, ctaidx)
+	r.SetSpecial(isa.RegCTAIDY, ctaidy)
+	r.SetSpecial(isa.RegNCTAIDX, nctaidx)
+	r.SetSpecial(isa.RegNCTAIDY, nctaidy)
+	r.SetSpecial(isa.RegLANEID, laneid)
+	r.SetSpecial(isa.RegWARPID, warpid)
 }
 
 // issuable reports whether wc can issue at cycle now on scheduler sched.
-func (s *sm) issuable(wc *warpCtx, k *Kernel, sched int, now int64) bool {
-	if wc.warp.Done() || wc.warp.AtBarrier {
+// It consults the pre-decoded stream, so the scan over candidates does
+// no per-instruction decoding or allocation.
+func (s *sm) issuable(wc *warpCtx, sched int, now int64) bool {
+	if wc.ws.Ctl.Done() || wc.ws.Ctl.AtBarrier {
 		return false
 	}
-	in := &k.Prog.Instrs[wc.warp.PC()]
-	switch in.Op.Unit() {
+	d := &s.code[wc.ws.Ctl.PC()]
+	switch d.Unit {
 	case isa.UnitSP:
 		if s.spBusy[sched] > now {
 			return false
@@ -216,17 +253,17 @@ func (s *sm) issuable(wc *warpCtx, k *Kernel, sched int, now int64) bool {
 	}
 	// Global accesses stall while the DRAM bandwidth bucket is in debt
 	// (cache hits never create debt, so they pass freely).
-	if in.Op.Unit() == isa.UnitLDST && in.Space != isa.SpaceShared && in.Space != isa.SpaceParam &&
+	if d.Unit == isa.UnitLDST && d.Space != isa.SpaceShared && d.Space != isa.SpaceParam &&
 		s.gpu.dramTokens < 0 {
 		return false
 	}
 	// Scoreboard: RAW on sources, WAW on destination.
-	for _, r := range in.Reads() {
-		if wc.ready[r] > now {
+	for i := 0; i < int(d.NumReads); i++ {
+		if wc.ready[d.ReadRegs[i]] > now {
 			return false
 		}
 	}
-	if d, ok := in.Writes(); ok && wc.ready[d] > now {
+	if d.HasDst && wc.ready[d.Dst] > now {
 		return false
 	}
 	return true
@@ -238,30 +275,31 @@ func (s *sm) issuable(wc *warpCtx, k *Kernel, sched int, now int64) bool {
 // register-number mod banks-per-cluster (after [8]); distinct registers
 // in the same bank serialize their fetches, which the operand buffer
 // hides from the pipeline but which still delays the result.
-func (s *sm) regBankConflictCycles(in *isa.Instr) int64 {
+func (s *sm) regBankConflictCycles(d *exec.Decoded) int64 {
 	if !s.cfg.ModelRegBankConflicts {
 		return 0
 	}
+	// At most three source registers: pairwise comparison beats clearing
+	// per-bank scratch arrays on every instruction.
 	banks := s.cfg.RegBanksPerCluster()
-	var perBank [32]int8
-	var seen [isa.MaxGPR]bool
 	extra := int64(0)
-	n := in.Op.NumSrc()
-	for i := 0; i < n; i++ {
-		o := in.Src[i]
-		if o.IsImm || o.Reg.IsSpecial() {
-			continue
+	n := int(d.NumReads)
+	for i := 1; i < n; i++ {
+		ri := int(d.ReadRegs[i])
+		dup, conflict := false, false
+		for j := 0; j < i; j++ {
+			rj := int(d.ReadRegs[j])
+			if rj == ri {
+				dup = true // same register feeds multiple operands: one fetch
+				break
+			}
+			if rj%banks == ri%banks {
+				conflict = true
+			}
 		}
-		r := int(o.Reg)
-		if seen[r] {
-			continue // same register feeds multiple operands: one fetch
-		}
-		seen[r] = true
-		b := r % banks
-		if perBank[b] > 0 {
+		if !dup && conflict {
 			extra++
 		}
-		perBank[b]++
 	}
 	return extra
 }
@@ -281,10 +319,11 @@ func (s *sm) latency(rec *exec.Record) int64 {
 }
 
 // segBases returns the distinct coalesced segment base addresses of a
-// memory record's active lanes.
+// memory record's active lanes, in an SM-owned scratch buffer valid
+// until the next call.
 func (s *sm) segBases(rec *exec.Record) []uint32 {
 	segBytes := uint32(s.cfg.CoalesceBytes)
-	var bases []uint32
+	bases := s.segBuf[:0]
 	for lane := 0; lane < 32; lane++ {
 		if !rec.Executing.Has(lane) {
 			continue
@@ -308,7 +347,7 @@ func (s *sm) segBases(rec *exec.Record) []uint32 {
 // memory record, probing the L1/L2 hierarchy and charging DRAM
 // bandwidth for the segments that reach memory.
 func (s *sm) memCosts(rec *exec.Record) (lat, occ int64) {
-	switch rec.Instr.Space {
+	switch rec.Dec.Space {
 	case isa.SpaceShared, isa.SpaceParam:
 		return int64(s.cfg.SharedLat + rec.BankSer - 1), int64(rec.BankSer)
 	case isa.SpaceGlobal, isa.SpaceLocal:
@@ -320,7 +359,7 @@ func (s *sm) memCosts(rec *exec.Record) (lat, occ int64) {
 	if occ < 1 {
 		occ = 1
 	}
-	isAtom := rec.Instr.Op == isa.OpATOM
+	isAtom := rec.Dec.Op == isa.OpATOM
 	if isAtom {
 		occ = int64(rec.Executing.Count()) // atomics serialize per lane
 		if occ < 1 {
@@ -396,7 +435,7 @@ func (s *sm) memCosts(rec *exec.Record) (lat, occ int64) {
 }
 
 // tick advances the SM by one cycle. Returns true if any work remains.
-func (s *sm) tick(k *Kernel, now int64) bool {
+func (s *sm) tick(now int64) bool {
 	if s.err != nil {
 		return false
 	}
@@ -411,8 +450,8 @@ func (s *sm) tick(k *Kernel, now int64) bool {
 	}
 	issued := 0
 	for sched := 0; sched < s.cfg.NumSchedulers; sched++ {
-		if wc := s.pick(k, sched, now); wc != nil {
-			s.issue(wc, k, sched, now)
+		if wc := s.pick(sched, now); wc != nil {
+			s.issue(wc, sched, now)
 			issued++
 			if s.err != nil {
 				return false
@@ -433,7 +472,7 @@ func (s *sm) tick(k *Kernel, now int64) bool {
 // pick selects the next warp for one scheduler. With two schedulers,
 // warps are partitioned by parity of their position in dispatch order
 // (Fermi-style even/odd warp ownership).
-func (s *sm) pick(k *Kernel, sched int, now int64) *warpCtx {
+func (s *sm) pick(sched int, now int64) *warpCtx {
 	n := len(s.warps)
 	if n == 0 {
 		return nil
@@ -443,12 +482,12 @@ func (s *sm) pick(k *Kernel, sched int, now int64) *warpCtx {
 	}
 	if s.cfg.Sched == arch.SchedGTO {
 		// Greedy: stick with the last warp while it can issue.
-		if g := s.greedy[sched]; g >= 0 && g < n && mine(g) && s.issuable(s.warps[g], k, sched, now) {
+		if g := s.greedy[sched]; g >= 0 && g < n && mine(g) && s.issuable(s.warps[g], sched, now) {
 			return s.warps[g]
 		}
 		// Then oldest: scan in dispatch (age) order.
 		for i := 0; i < n; i++ {
-			if mine(i) && s.issuable(s.warps[i], k, sched, now) {
+			if mine(i) && s.issuable(s.warps[i], sched, now) {
 				s.greedy[sched] = i
 				return s.warps[i]
 			}
@@ -459,7 +498,7 @@ func (s *sm) pick(k *Kernel, sched int, now int64) *warpCtx {
 	// Loose round-robin.
 	for i := 0; i < n; i++ {
 		idx := (s.rr[sched] + i) % n
-		if mine(idx) && s.issuable(s.warps[idx], k, sched, now) {
+		if mine(idx) && s.issuable(s.warps[idx], sched, now) {
 			s.rr[sched] = idx + 1
 			return s.warps[idx]
 		}
@@ -467,30 +506,19 @@ func (s *sm) pick(k *Kernel, sched int, now int64) *warpCtx {
 	return nil
 }
 
-func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
-	var perturb exec.Perturb
-	if s.gpu.fault != nil {
-		perturb = func(thread int, unit isa.UnitClass, golden uint32) uint32 {
-			lane := s.cfg.LaneForThread(thread)
-			v, changed := s.gpu.fault.Perturb(s.id, now, lane, unit, golden)
-			if changed {
-				s.st.FaultsActivated++
-			}
-			return v
-		}
-	}
-	ctx := &exec.Context{Global: s.gpu.Mem, Shared: wc.block.shared, Params: k.Params, Shadow: wc.block.shadow, Metrics: s.emet}
-	rec, err := exec.Step(ctx, k.Prog, wc.warp, wc.regs, s.cfg.CoalesceBytes, s.cfg.NumSharedBanks, perturb)
+func (s *sm) issue(wc *warpCtx, sched int, now int64) {
+	s.issueNow = now
+	rec, err := s.machine.Step(&wc.ws)
 	if err != nil {
-		s.err = fmt.Errorf("sm%d block %d warp %d: %w", s.id, wc.block.id, wc.warp.ID, err)
+		s.err = fmt.Errorf("sm%d block %d warp %d: %w", s.id, wc.block.id, wc.ws.Ctl.ID, err)
 		return
 	}
 
 	if s.gpu.tracer != nil {
 		s.gpu.tracer.Emit(trace.Event{
 			Cycle: now, SM: s.id, WarpGID: wc.gid,
-			BlockID: wc.block.id, WarpID: wc.warp.ID,
-			PC: rec.PC, Op: rec.Instr.Op, Unit: rec.Unit,
+			BlockID: wc.block.id, WarpID: wc.ws.Ctl.ID,
+			PC: rec.PC, Op: rec.Dec.Op, Unit: rec.Unit,
 			Executing: rec.Executing, Divergent: rec.Divergent,
 			Stores: rec.IsStore,
 		})
@@ -510,12 +538,12 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 		s.st.UnitOps[rec.Unit]++
 		// Bank-level accounting: a 128-bit bank entry feeds a whole
 		// cluster, so register traffic is counted per warp instruction.
-		s.st.RegFileReads += int64(rec.Instr.Op.NumSrc())
+		s.st.RegFileReads += int64(rec.Dec.NSrc)
 		if rec.DstValid {
 			s.st.RegFileWrites++
 		}
 		if rec.IsMem {
-			switch rec.Instr.Space {
+			switch rec.Dec.Space {
 			case isa.SpaceShared, isa.SpaceParam:
 				s.st.SharedAccesses++
 			case isa.SpaceGlobal, isa.SpaceLocal:
@@ -524,7 +552,7 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 		}
 	}
 	if wc.tracked && s.st.RAW != nil && rec.Unit != isa.UnitCTRL {
-		for _, r := range rec.Instr.Reads() {
+		for _, r := range rec.SrcRegs() {
 			s.st.RAW.Read(r, now)
 		}
 		if rec.DstValid {
@@ -551,7 +579,7 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 	}
 	if rec.DstValid {
 		if rec.Unit != isa.UnitCTRL {
-			if rb := s.regBankConflictCycles(rec.Instr); rb > 0 {
+			if rb := s.regBankConflictCycles(rec.Dec); rb > 0 {
 				lat += rb
 				s.st.RegBankConflicts += rb
 			}
@@ -564,7 +592,7 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 	case rec.IsBarrier:
 		wc.block.atBarrier++
 		s.maybeReleaseBarrier(wc.block)
-	case rec.IsExit && wc.warp.Done():
+	case rec.IsExit && wc.ws.Ctl.Done():
 		wc.block.live--
 		s.maybeReleaseBarrier(wc.block)
 		if wc.block.live == 0 {
@@ -573,27 +601,26 @@ func (s *sm) issue(wc *warpCtx, k *Kernel, sched int, now int64) {
 	}
 
 	// --- Warped-DMR hook ---
-	phys := physMask(s.cfg, rec.Executing)
 	s.stall += s.engine.Issue(core.IssueInfo{
 		Rec:     rec,
 		WarpGID: wc.gid,
-		Phys:    phys,
-		Width:   wc.warp.Width(),
+		Phys:    s.physMask(rec.Executing),
+		Width:   wc.ws.Ctl.Width(),
 		Cycle:   now,
 	})
 }
 
 // physMask converts a logical thread-slot mask to a physical-lane mask
-// under the configured thread->core mapping.
-func physMask(cfg arch.Config, logical simt.Mask) simt.Mask {
-	if cfg.Mapping == arch.MapLinear {
+// under the configured thread->core mapping, via the pre-resolved
+// lane table.
+func (s *sm) physMask(logical simt.Mask) simt.Mask {
+	if s.cfg.Mapping == arch.MapLinear {
 		return logical
 	}
 	var out simt.Mask
-	for t := 0; t < 32; t++ {
-		if logical.Has(t) {
-			out |= 1 << uint(cfg.LaneForThread(t))
-		}
+	for rem := uint32(logical); rem != 0; rem &= rem - 1 {
+		t := bits.TrailingZeros32(rem)
+		out |= 1 << uint(s.laneFor[t])
 	}
 	return out
 }
@@ -603,7 +630,7 @@ func (s *sm) maybeReleaseBarrier(b *blockCtx) {
 		return
 	}
 	for _, wc := range b.warps {
-		wc.warp.AtBarrier = false
+		wc.ws.Ctl.AtBarrier = false
 	}
 	b.atBarrier = 0
 }
@@ -612,8 +639,8 @@ func (s *sm) maybeReleaseBarrier(b *blockCtx) {
 // each warp's lifetime control-flow tallies into the launch metrics.
 func (s *sm) retire(b *blockCtx) {
 	for _, wc := range b.warps {
-		s.met.StackDepth.Observe(int64(wc.warp.MaxStackDepth()))
-		s.met.DivergeEvents.Add(wc.warp.Diverges())
+		s.met.StackDepth.Observe(int64(wc.ws.Ctl.MaxStackDepth()))
+		s.met.DivergeEvents.Add(wc.ws.Ctl.Diverges())
 	}
 	kept := s.blocks[:0]
 	for _, x := range s.blocks {

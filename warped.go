@@ -390,7 +390,7 @@ func (r *Runner) Run(ctx context.Context, name string, options ...RunOption) (*R
 
 // runOnce executes every launch step of one workload attempt.
 func runOnce(ctx context.Context, b *Benchmark, spec *runSpec) (*Stats, int, error) {
-	g, err := sim.New(spec.cfg, 0)
+	g, err := sim.New(spec.cfg, b.GPUMemBytes())
 	if err != nil {
 		return nil, 0, err
 	}

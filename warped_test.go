@@ -1,6 +1,7 @@
 package warped
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -9,7 +10,8 @@ import (
 )
 
 func TestPublicQuickstart(t *testing.T) {
-	res, err := RunBenchmark("BitonicSort", WarpedDMRConfig())
+	res, err := (&Runner{}).Run(context.Background(), "BitonicSort",
+		WithConfig(WarpedDMRConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +27,8 @@ func TestPublicBenchmarkRegistry(t *testing.T) {
 	if len(Benchmarks()) != 11 || len(BenchmarkNames()) != 11 {
 		t.Error("expected the paper's 11 workloads")
 	}
-	if _, err := RunBenchmark("NotABenchmark", PaperConfig()); err == nil {
+	if _, err := (&Runner{}).Run(context.Background(), "NotABenchmark",
+		WithConfig(PaperConfig())); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -78,8 +81,9 @@ func TestPublicFaultInjection(t *testing.T) {
 		Kind: fault.StuckAt, SM: 0, Lane: 1, Unit: isa.UnitSP, Bit: 0, StuckVal: 1,
 	})
 	detections := 0
-	res, err := RunBenchmarkWithFaults("SHA", WarpedDMRConfig(), inj,
-		func(ErrorEvent) { detections++ })
+	res, err := (&Runner{}).Run(context.Background(), "SHA",
+		WithConfig(WarpedDMRConfig()),
+		WithFaults(inj, func(ErrorEvent) { detections++ }))
 	// The fault may crash the kernel (DUE) or be detected; either way
 	// it must not pass silently once activated.
 	if err == nil {
@@ -92,7 +96,7 @@ func TestPublicFaultInjection(t *testing.T) {
 
 func TestPublicPowerEstimate(t *testing.T) {
 	cfg := PaperConfig()
-	res, err := RunBenchmark("Laplace", cfg)
+	res, err := (&Runner{}).Run(context.Background(), "Laplace", WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,13 +109,18 @@ func TestPublicPowerEstimate(t *testing.T) {
 	}
 }
 
-func TestRunBenchmarkWithRetryTransient(t *testing.T) {
+func TestRunnerRetryTransient(t *testing.T) {
 	// A one-shot transient: the first attempt detects it, the retry is
 	// clean and validates.
 	inj := fault.NewInjector(&Fault{
 		Kind: fault.Transient, SM: 0, Lane: 2, Unit: isa.UnitSP, Bit: 3, Cycle: 5,
 	})
-	r, err := RunBenchmarkWithRetry("BitonicSort", WarpedDMRConfig(), inj, 3)
+	r, err := (&Runner{}).Run(context.Background(), "BitonicSort",
+		WithConfig(WarpedDMRConfig()),
+		WithFaults(inj, nil),
+		WithStopOnError(),
+		WithRetry(3),
+		WithValidation(false))
 	if err != nil {
 		t.Fatalf("transient should recover: %v", err)
 	}
@@ -123,16 +132,19 @@ func TestRunBenchmarkWithRetryTransient(t *testing.T) {
 	}
 }
 
-func TestRunBenchmarkWithRetryPermanent(t *testing.T) {
-	// A stuck-at fault persists across retries: the helper gives up.
+func TestRunnerRetryPermanent(t *testing.T) {
+	// A stuck-at fault persists across retries: Run exhausts the
+	// attempt budget and reports the fault as permanent.
 	inj := fault.NewInjector(&Fault{
 		Kind: fault.StuckAt, SM: 0, Lane: 2, Unit: isa.UnitSP, Bit: 0, StuckVal: 1,
 	})
-	r, err := RunBenchmarkWithRetry("BitonicSort", WarpedDMRConfig(), inj, 3)
-	if err == nil || !r.GaveUp {
-		t.Fatalf("permanent fault should exhaust retries, got %+v, err %v", r, err)
-	}
-	if r.Attempts != 3 {
-		t.Errorf("attempts = %d, want 3", r.Attempts)
+	_, err := (&Runner{}).Run(context.Background(), "BitonicSort",
+		WithConfig(WarpedDMRConfig()),
+		WithFaults(inj, nil),
+		WithStopOnError(),
+		WithRetry(3),
+		WithValidation(false))
+	if err == nil {
+		t.Fatal("permanent fault should exhaust retries")
 	}
 }
