@@ -32,7 +32,10 @@ import (
 
 // Wire types, shared with the daemon so the two ends cannot drift.
 type (
-	// JobSpec is one simulation job (see docs/SERVICE.md for the schema).
+	// JobSpec is one simulation job (see docs/SERVICE.md for the
+	// schema). Its Policy field selects a selective-protection policy
+	// (docs/POLICIES.md); jobs differing only in policy are distinct
+	// cache entries.
 	JobSpec = service.JobSpec
 	// ConfigSpec selects and overrides the machine configuration.
 	ConfigSpec = service.ConfigSpec

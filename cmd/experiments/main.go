@@ -11,6 +11,7 @@
 //	experiments -fig 9a        # one figure: 1, 5, 8a, 8b, 9a, 9b, 10, 11
 //	experiments -fig table4
 //	experiments -fig campaign  # seeded fault-injection campaign
+//	experiments -fig pareto    # policy sweep: coverage vs overhead points
 //	experiments -parallel 4    # cap the worker pool (default GOMAXPROCS)
 //	experiments -csv           # emit CSV instead of aligned text
 package main
@@ -24,8 +25,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
+	"warped/internal/arch"
 	"warped/internal/experiments"
 	"warped/internal/kernels"
 	"warped/internal/metrics"
@@ -40,8 +43,12 @@ type figure struct {
 
 func main() {
 	var (
-		figID     = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, campaign, sampling, schedulers, latency); empty = all")
+		figID     = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, campaign, pareto, sampling, schedulers, latency); empty = all")
 		csv       = flag.Bool("csv", false, "emit CSV")
+		policies  = flag.String("policies", "", "semicolon-separated protection policies for -fig pareto (default full;warpsample:1/2;warpsample:1/4;activemask:16;off; docs/POLICIES.md)")
+		trials    = flag.Int("trials", 5, "fault-injection trials per (benchmark, policy) cell for -fig pareto; 0 skips the campaign")
+		seed      = flag.Int64("seed", 1, "fault-campaign RNG seed for -fig pareto")
+		jsonlOut  = flag.String("jsonl", "", "also write the -fig pareto point set as JSON Lines to this file")
 		chart     = flag.Bool("chart", false, "render ASCII charts where available")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulator runs (results are identical at any value)")
 		progress  = flag.Bool("progress", false, "report per-figure run completion on stderr")
@@ -110,6 +117,22 @@ func main() {
 				return nil, err
 			}
 			return experiments.CampaignTable([]*experiments.CampaignResult{r}), nil
+		}, nil},
+		{"pareto", func(ctx context.Context) (*stats.Table, error) {
+			spec, err := paretoSpec(*policies, *trials, *seed)
+			if err != nil {
+				return nil, err
+			}
+			r, err := e.Pareto(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			if *jsonlOut != "" {
+				if err := writeParetoJSONL(r, *jsonlOut); err != nil {
+					return nil, err
+				}
+			}
+			return r.Table(), nil
 		}, nil},
 		{"sampling", func(ctx context.Context) (*stats.Table, error) { r, err := e.Sampling(ctx); return tbl(r, err) }, nil},
 		{"schedulers", func(ctx context.Context) (*stats.Table, error) { r, err := e.SchedulerStudy(ctx); return tbl(r, err) }, nil},
@@ -191,6 +214,40 @@ func chartOf(r charter, err error) (string, error) {
 		return "", err
 	}
 	return r.Chart(), nil
+}
+
+// paretoSpec builds the policy-sweep spec from the -policies, -trials
+// and -seed flags. Policies are semicolon-separated because kernel
+// lists use commas (kernel:BFS,SHA).
+func paretoSpec(policyList string, trials int, seed int64) (experiments.ParetoSpec, error) {
+	spec := experiments.ParetoSpec{Trials: trials, Seed: seed}
+	if policyList == "" {
+		return spec, nil // Pareto fills in DefaultParetoPolicies
+	}
+	for _, s := range strings.Split(policyList, ";") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		p, err := arch.ParsePolicy(s)
+		if err != nil {
+			return spec, fmt.Errorf("-policies: %w", err)
+		}
+		spec.Policies = append(spec.Policies, p)
+	}
+	return spec, nil
+}
+
+// writeParetoJSONL writes the sweep's point set as JSON Lines.
+func writeParetoJSONL(r *experiments.ParetoResult, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func table4() (*stats.Table, error) {

@@ -35,6 +35,7 @@ func main() {
 		n         = flag.Int("n", 20, "trials per benchmark")
 		seed      = flag.Int64("seed", 1, "campaign RNG seed")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for campaign trials (results are identical at any value)")
+		policyStr = flag.String("policy", "full", "selective-protection policy for the campaign machine (docs/POLICIES.md)")
 		diagnose  = flag.Bool("diagnose", false, "plant one stuck-at fault and isolate the faulty lane")
 		metricsOn = flag.Bool("metrics", false, "print the campaign metrics snapshot to stderr (docs/OBSERVABILITY.md)")
 		metricsTo = flag.String("metrics-out", "", "write the campaign metrics snapshot as JSON Lines to this file")
@@ -76,10 +77,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	policy, err := warped.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: -policy: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := warped.WarpedDMRConfig()
+	cfg.Policy = policy
+
 	e := &warped.Engine{Workers: *parallel, Metrics: reg}
 	var results []*warped.CampaignResult
 	for _, name := range names {
-		c, err := e.Campaign(ctx, name, *n, *seed)
+		c, err := e.CampaignConfig(ctx, name, cfg, *n, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faultsim: %s: %v\n", name, err)
 			os.Exit(1)

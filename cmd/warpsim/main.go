@@ -53,6 +53,7 @@ func main() {
 		replayQ   = flag.Int("replayq", 10, "ReplayQ entries per SM")
 		cluster   = flag.Int("cluster", 4, "SIMT cluster size (4 or 8)")
 		sms       = flag.Int("sms", 30, "number of SMs")
+		policyStr = flag.String("policy", "full", "selective-protection policy: full|off|kernel:NAME[,..]|warpsample:1/N|activemask:MIN|pcrange:LO-HI (docs/POLICIES.md)")
 		noShuffle = flag.Bool("no-lane-shuffle", false, "disable lane shuffling on replays")
 		noDrain   = flag.Bool("no-idle-drain", false, "disable ReplayQ draining on idle units")
 		lintMode  = flag.String("lint", "on", "statically verify kernels before running: on|off")
@@ -117,6 +118,11 @@ func main() {
 		cfg.Mapping = warped.MapClusterRR
 	default:
 		fmt.Fprintf(os.Stderr, "warpsim: unknown -mapping %q\n", *mapping)
+		os.Exit(2)
+	}
+	cfg.Policy, err = warped.ParsePolicy(*policyStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warpsim: -policy: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -344,6 +350,13 @@ func printResult(res *warped.Result, cfg warped.Config) {
 			100*st.Coverage(), st.VerifiedIntra, st.VerifiedInter, st.EligibleTI)
 		fmt.Printf("DMR overhead       %d full-queue stalls, %d RAW stalls, %d co-executions, %d idle drains\n",
 			st.StallReplayQFull, st.StallRAWUnverif, st.ReplayCoexec, st.ReplayIdleDrain)
+		// Only selective policies print a policy line: the default Full
+		// output stays byte-identical to the pre-policy CLI (a CI check
+		// compares it against archived output).
+		if cfg.Policy.Kind != warped.PolicyFull {
+			fmt.Printf("DMR policy         %s (protected %d, skipped %d of %d eligible)\n",
+				cfg.Policy, st.ProtectedTI, st.SkippedTI, st.EligibleTI)
+		}
 	}
 	if st.L1Hits+st.L1Misses > 0 {
 		l1 := float64(st.L1Hits) / float64(st.L1Hits+st.L1Misses)

@@ -154,6 +154,12 @@ type Config struct {
 	IdleDrain   bool          // drain one ReplayQ entry on idle issue cycles
 	LaneShuffle bool          // shuffle replay lanes within a cluster
 
+	// Policy selects which eligible instructions the DMR engine
+	// actually verifies (docs/POLICIES.md). The zero value protects
+	// everything, byte-identical to the pre-policy engine; it is inert
+	// when DMR is DMROff.
+	Policy Policy
+
 	// Sampling DMR (Nomura et al., ISCA'11 — the paper's related-work
 	// comparison point): verify only during the first SampleOn cycles
 	// of every SamplePeriod-cycle epoch. SamplePeriod 0 disables
@@ -282,6 +288,9 @@ func (c Config) Validate() error {
 		if err := c.L2.Validate(); err != nil {
 			return fmt.Errorf("arch: L2: %w", err)
 		}
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -76,6 +76,11 @@ type Engine struct {
 	onError func(ErrorEvent)
 	met     *metrics.DMR // never nil; built from a nil registry by default
 
+	// policy gates which eligible instructions are verified. nil means
+	// protect everything (PolicyFull) with zero per-issue cost — the
+	// common case never pays an interface call.
+	policy ProtectionPolicy
+
 	intra bool
 	inter bool
 	dmtr  bool
@@ -107,6 +112,7 @@ func NewEngine(cfg arch.Config, smID int, st *stats.Stats, perturb PerturbPhys, 
 		inter:   cfg.DMR == arch.DMRInter || cfg.DMR == arch.DMRFull,
 		dmtr:    cfg.DMR == arch.DMRTemporalAll,
 		met:     metrics.ForDMR(nil, cfg.WarpSize, cfg.ClusterSize),
+		policy:  CompilePolicy(cfg.Policy, ""),
 	}
 	if cfg.ReplayQSize > 0 {
 		e.q = make([]qEntry, 0, cfg.ReplayQSize)
@@ -127,6 +133,13 @@ func (e *Engine) SetMetrics(m *metrics.DMR) {
 	}
 	e.met = m
 }
+
+// SetPolicy installs the launch-resolved protection policy (see
+// CompilePolicy). NewEngine compiles cfg.Policy against an empty kernel
+// name; callers that know the kernel (the simulator does) re-resolve
+// per launch so PolicyPerKernel sees the real name. nil protects
+// everything. Call before the first Issue.
+func (e *Engine) SetPolicy(p ProtectionPolicy) { e.policy = p }
 
 // noteQueueDepth publishes the current ReplayQ occupancy.
 func (e *Engine) noteQueueDepth() { e.met.ReplayQDepth.Set(int64(len(e.q))) }
@@ -231,6 +244,20 @@ func (e *Engine) Issue(info IssueInfo) (stall int) {
 		}
 		return stall
 	}
+
+	// Selective protection: the policy decides from pre-computed facts
+	// whether this instruction is verified. Skipped instructions stay in
+	// EligibleTI, so Coverage() reports what the policy actually bought.
+	if e.policy != nil && !e.policy.Protect(PolicyFacts{WarpGID: info.WarpGID, PC: rec.PC, Active: int(eligible)}) {
+		e.st.SkippedTI += eligible
+		e.met.PolicySkipped.Add(eligible)
+		if e.hasPending {
+			stall += e.resolvePending(rec.Unit, &[3]bool{}, info.Cycle)
+		}
+		return stall
+	}
+	e.st.ProtectedTI += eligible
+	e.met.PolicyProtected.Add(eligible)
 
 	// RAW on unverified results: a consumer may not read a value whose
 	// producer is still buffered in the ReplayQ. Verify such producers

@@ -1,0 +1,85 @@
+package core
+
+import "warped/internal/arch"
+
+// PolicyFacts are the pre-computed facts a protection policy decides
+// from at issue time. All of them are already in registers on the
+// issue path — nothing is looked up, hashed, or allocated to build
+// one — so a policy check costs one interface call and a handful of
+// integer compares (docs/POLICIES.md, "The decision point").
+type PolicyFacts struct {
+	WarpGID int // SM-unique warp identifier, assigned in dispatch order
+	PC      int // program counter of the issued instruction
+	Active  int // executing (non-exited, unmasked) lane count
+}
+
+// ProtectionPolicy decides, per issued warp instruction, whether the
+// DMR engine verifies it. Implementations must be deterministic pure
+// functions of the facts (and of launch-time configuration resolved in
+// CompilePolicy) and must not allocate: the engine calls Protect on
+// the per-instruction hot path that TestLaunchSteadyStateZeroAllocs
+// pins at zero allocations.
+type ProtectionPolicy interface {
+	Protect(f PolicyFacts) bool
+}
+
+// CompilePolicy resolves a serializable policy configuration into its
+// issue-time decision procedure for one kernel launch. Launch-time
+// choices (which kernel is running) are made here, once, so nothing
+// per-kernel remains on the issue path.
+//
+// Full — and any policy that degenerates to "protect everything" for
+// this kernel — compiles to nil, which the engine treats as
+// unconditional protection with zero per-issue cost: the Full path
+// stays byte-identical to the pre-policy engine.
+func CompilePolicy(p arch.Policy, kernel string) ProtectionPolicy {
+	switch p.Kind {
+	case arch.PolicyFull:
+		return nil
+	case arch.PolicyOff:
+		return offPolicy{}
+	case arch.PolicyPerKernel:
+		if p.ProtectsKernel(kernel) {
+			return nil // full protection for this kernel
+		}
+		return offPolicy{}
+	case arch.PolicyWarpSample:
+		if p.SampleN <= 1 {
+			return nil // 1/1 sampling is full protection
+		}
+		return warpSamplePolicy{n: p.SampleN, phase: p.SamplePhase}
+	case arch.PolicyActiveMask:
+		if p.MinActive <= 1 {
+			return nil // every executing instruction has >= 1 lane
+		}
+		return activeMaskPolicy{min: p.MinActive}
+	case arch.PolicyPCRange:
+		return pcRangePolicy{lo: p.PCLo, hi: p.PCHi}
+	default: // future kinds default to full protection
+		return nil
+	}
+}
+
+// offPolicy protects nothing; eligible instructions are counted and
+// skipped.
+type offPolicy struct{}
+
+func (offPolicy) Protect(PolicyFacts) bool { return false }
+
+// warpSamplePolicy protects one warp in every n, chosen by the
+// SM-unique warp ID. IDs are assigned deterministically in dispatch
+// order, so the protected set is identical run to run and at any
+// worker count.
+type warpSamplePolicy struct{ n, phase int }
+
+func (p warpSamplePolicy) Protect(f PolicyFacts) bool { return f.WarpGID%p.n == p.phase }
+
+// activeMaskPolicy protects only well-utilized warp instructions.
+type activeMaskPolicy struct{ min int }
+
+func (p activeMaskPolicy) Protect(f PolicyFacts) bool { return f.Active >= p.min }
+
+// pcRangePolicy protects the [lo, hi] PC region.
+type pcRangePolicy struct{ lo, hi int }
+
+func (p pcRangePolicy) Protect(f PolicyFacts) bool { return f.PC >= p.lo && f.PC <= p.hi }

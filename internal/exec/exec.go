@@ -101,7 +101,10 @@ func (r *Regs) Operand(o isa.Operand, lane int) uint32 {
 type Perturb func(thread int, unit isa.UnitClass, golden uint32) uint32
 
 // Record describes everything the timing model and the DMR layer need
-// to know about one executed warp-instruction.
+// to know about one executed warp-instruction. PC and Executing double
+// as the issue-time facts selective-protection policies decide from
+// (core.PolicyFacts): both are computed during the step regardless, so
+// arming a policy adds no work here.
 //
 // Machine.Step returns a Machine-owned Record that is reused on the
 // next call; its per-lane arrays are only meaningful for Executing
@@ -109,7 +112,7 @@ type Perturb func(thread int, unit isa.UnitClass, golden uint32) uint32
 type Record struct {
 	PC        int
 	Instr     *isa.Instr
-	Dec       *Decoded  // pre-decoded form; nil for hand-built records
+	Dec       *Decoded // pre-decoded form; nil for hand-built records
 	Unit      isa.UnitClass
 	Active    simt.Mask // path mask before guarding
 	Executing simt.Mask // lanes that actually executed (guard applied)

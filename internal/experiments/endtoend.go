@@ -181,11 +181,20 @@ type campaignOutcome struct {
 // the campaign is reproducible and byte-identical at any worker count;
 // the n runs themselves fan out across the pool.
 func (e *Engine) Campaign(ctx context.Context, benchName string, n int, seed int64) (*CampaignResult, error) {
+	return e.CampaignConfig(ctx, benchName, arch.WarpedDMRConfig(), n, seed)
+}
+
+// CampaignConfig is Campaign under an explicit machine configuration —
+// the knob the Pareto harness turns to measure how a selective
+// protection policy (cfg.Policy) degrades empirical detection. The
+// fault sequence depends only on (n, seed, cfg.NumSMs), so sweeps that
+// vary the policy inject identical faults and their detection rates
+// are directly comparable.
+func (e *Engine) CampaignConfig(ctx context.Context, benchName string, cfg arch.Config, n int, seed int64) (*CampaignResult, error) {
 	b, err := kernels.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	cfg := arch.WarpedDMRConfig()
 	// Bias toward hardware the workload actually exercises: the block
 	// dispatcher fills low-numbered SMs first, and low result bits
 	// toggle far more often than high ones, so unbiased draws mostly

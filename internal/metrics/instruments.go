@@ -106,6 +106,13 @@ type DMR struct {
 	IntraVerified *Counter
 	InterVerified *Counter
 
+	// Selective-protection outcomes, in thread-instructions: eligible
+	// instructions the configured policy admitted for verification vs
+	// skipped (docs/POLICIES.md). Under the default Full policy every
+	// eligible instruction lands in PolicyProtected.
+	PolicyProtected *Counter
+	PolicySkipped   *Counter
+
 	// RFU pairing: Pairings counts idle->active lane assignments,
 	// CoveredLanes counts distinct active lanes that received at least
 	// one verifier, MissedLanes counts active lanes of partial warps
@@ -149,6 +156,8 @@ func ForDMR(r *Registry, warpSize, clusterSize int) *DMR {
 		IdleDrainReplays: r.Counter("dmr.replay.idle_drain_total"),
 		IntraVerified:    r.Counter("dmr.verified.intra_thread_instrs_total"),
 		InterVerified:    r.Counter("dmr.verified.inter_thread_instrs_total"),
+		PolicyProtected:  r.Counter("dmr.policy.protected_instrs_total"),
+		PolicySkipped:    r.Counter("dmr.policy.skipped_instrs_total"),
 		RFUPairings:      r.Counter("dmr.rfu.pairings_total"),
 		RFUCoveredLanes:  r.Counter("dmr.rfu.covered_lanes_total"),
 		RFUMissedLanes:   r.Counter("dmr.rfu.missed_lanes_total"),

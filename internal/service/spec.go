@@ -64,6 +64,14 @@ type JobSpec struct {
 	// the paper's recommended Warped-DMR machine.
 	Config *ConfigSpec `json:"config,omitempty"`
 
+	// Policy is the selective-protection policy in warped.ParsePolicy
+	// spelling ("full", "off", "kernel:BFS", "warpsample:1/4",
+	// "activemask:16", "pcrange:0-128"); empty means full protection.
+	// The parsed policy lands in the canonical config, so two jobs that
+	// differ only in policy are distinct cache entries
+	// (docs/POLICIES.md, docs/SERVICE.md).
+	Policy string `json:"policy,omitempty"`
+
 	// Faults is the fault-injection campaign; nil runs fault-free.
 	Faults *FaultSpec `json:"faults,omitempty"`
 
@@ -129,8 +137,9 @@ type FaultDef struct {
 
 // specVersion is baked into the canonical form so that any future
 // change to job semantics (new field, different default) changes every
-// hash instead of silently aliasing old cached results.
-const specVersion = 1
+// hash instead of silently aliasing old cached results. v2 added the
+// selective-protection policy to the canonical config.
+const specVersion = 2
 
 // canonicalJob is the fully-resolved form a job is hashed and executed
 // from: presets applied, defaults materialized, random faults drawn,
@@ -203,6 +212,15 @@ func (s *JobSpec) Canonicalize() (*canonicalJob, error) {
 	cfg, err := s.Config.resolve()
 	if err != nil {
 		return nil, err
+	}
+	if s.Policy != "" {
+		// ParsePolicy normalizes, so equivalent spellings ("warpsample:2"
+		// vs "warpsample:1/2") canonicalize — and hash — identically.
+		pol, err := arch.ParsePolicy(s.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("service: policy: %w", err)
+		}
+		cfg.Policy = pol
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("service: config: %w", err)

@@ -32,8 +32,9 @@ func TestHashDefaultEquivalence(t *testing.T) {
 			ReplayQ: &ten, Cluster: &four, SMs: &thirty,
 			LaneShuffle: &yes, IdleDrain: &yes,
 		}},
-		{Benchmark: "MatrixMul", Retry: 1},            // 0 and 1 both mean one attempt
-		{Benchmark: "MatrixMul", Seed: 42},            // seed is inert without random faults
+		{Benchmark: "MatrixMul", Policy: "full"},       // full is the default policy
+		{Benchmark: "MatrixMul", Retry: 1},             // 0 and 1 both mean one attempt
+		{Benchmark: "MatrixMul", Seed: 42},             // seed is inert without random faults
 		{Benchmark: "MatrixMul", Faults: &FaultSpec{}}, // empty campaign == no campaign
 		// Geometry belongs to the bundled workload: submitted values are
 		// canonicalized away.
@@ -59,6 +60,8 @@ func TestHashDistinguishes(t *testing.T) {
 		{Benchmark: "MatrixMul", Retry: 3},
 		{Benchmark: "MatrixMul", StopOnError: true},
 		{Benchmark: "MatrixMul", Faults: &FaultSpec{Random: 1}},
+		{Benchmark: "MatrixMul", Policy: "off"},
+		{Benchmark: "MatrixMul", Policy: "warpsample:1/2"},
 	}
 	seen := map[string]int{base: -1}
 	for i, spec := range distinct {
@@ -118,9 +121,24 @@ func TestHashSourceGeometryDefaults(t *testing.T) {
 // you changed the job schema, a default, or the canonical encoding:
 // bump specVersion so old cached results cannot be aliased, and repin.
 func TestCanonicalHashGolden(t *testing.T) {
-	const want = "45dbaa5684edcdf3106c077396391b9d17c32fdca65d478f211300a3f32113fa"
+	const want = "99d20eb1686cd18247472e7a878845eb7a155df60c15a823a67ebfefc6766006"
 	if got := mustHash(t, &JobSpec{Benchmark: "MatrixMul"}); got != want {
 		t.Errorf("canonical hash of {benchmark: MatrixMul} = %s, want %s", got, want)
+	}
+}
+
+// TestHashPolicyNormalization: equivalent policy spellings hash
+// identically (one cache entry per policy, not per spelling), while
+// distinct policies fork the hash.
+func TestHashPolicyNormalization(t *testing.T) {
+	canonical := mustHash(t, &JobSpec{Benchmark: "MatrixMul", Policy: "warpsample:1/2"})
+	alias := mustHash(t, &JobSpec{Benchmark: "MatrixMul", Policy: "warpsample:2"})
+	if canonical != alias {
+		t.Errorf("warpsample:1/2 hashed %s, alias warpsample:2 hashed %s", canonical, alias)
+	}
+	other := mustHash(t, &JobSpec{Benchmark: "MatrixMul", Policy: "warpsample:1/4"})
+	if other == canonical {
+		t.Error("warpsample:1/4 collides with warpsample:1/2")
 	}
 }
 
@@ -137,6 +155,8 @@ func TestCanonicalizeRejects(t *testing.T) {
 		"bad fault unit":    {Benchmark: "MatrixMul", Faults: &FaultSpec{Faults: []FaultDef{{Kind: "stuck-at", Lane: 0, Unit: "tensor"}}}},
 		"negative random":   {Benchmark: "MatrixMul", Faults: &FaultSpec{Random: -1}},
 		"negative shared":   {Source: "exit\n", SharedBytes: -4},
+		"bad policy":        {Benchmark: "MatrixMul", Policy: "quantum"},
+		"bad policy arg":    {Benchmark: "MatrixMul", Policy: "warpsample:1/0"},
 	}
 	for name, spec := range bad {
 		if _, err := spec.Canonicalize(); err == nil {

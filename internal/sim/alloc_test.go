@@ -18,7 +18,7 @@ func loopKernel(trips uint32) *Kernel {
 		}
 		p.Instrs = append(p.Instrs, in)
 	}
-	add(isa.Instr{Op: isa.OpMOV, Dst: 0, Src: [3]isa.Operand{isa.ImmOp(0)}})       // i = 0
+	add(isa.Instr{Op: isa.OpMOV, Dst: 0, Src: [3]isa.Operand{isa.ImmOp(0)}}) // i = 0
 	add(isa.Instr{Op: isa.OpSHL, Dst: 1, Src: [3]isa.Operand{isa.RegOp(isa.RegTIDX), isa.ImmOp(2)}})
 	add(isa.Instr{Op: isa.OpIADD, Dst: 1, Src: [3]isa.Operand{isa.RegOp(1), isa.ImmOp(256)}})
 	// loop body (pc 3..7)
@@ -38,9 +38,10 @@ func loopKernel(trips uint32) *Kernel {
 // loop trip count must allocate exactly the same, so every allocation
 // is per-launch setup and none is per-instruction.
 func TestLaunchSteadyStateZeroAllocs(t *testing.T) {
-	perLaunch := func(trips uint32) float64 {
+	perLaunch := func(trips uint32, policy arch.Policy) float64 {
 		cfg := arch.WarpedDMRConfig()
 		cfg.NumSMs = 1
+		cfg.Policy = policy
 		g, err := New(cfg, 1<<16)
 		if err != nil {
 			t.Fatal(err)
@@ -52,12 +53,21 @@ func TestLaunchSteadyStateZeroAllocs(t *testing.T) {
 			}
 		})
 	}
-	short := perLaunch(64)
-	long := perLaunch(1024)
-	// ~4800 extra warp instructions between the two runs; any per-
-	// instruction allocation shows up as thousands of extra objects.
-	if delta := long - short; delta > 1 {
-		t.Errorf("longer kernel allocates %.1f more objects per launch (short %.1f, long %.1f); issue path is allocating per instruction",
-			delta, short, long)
+	// The protection-policy decision must stay allocation-free too: the
+	// guard runs once with the default Full policy and once with a
+	// non-trivial selective policy armed (docs/POLICIES.md).
+	policies := map[string]arch.Policy{
+		"full":           {},
+		"warpsample:1/2": {Kind: arch.PolicyWarpSample, SampleN: 2},
+	}
+	for name, p := range policies {
+		short := perLaunch(64, p)
+		long := perLaunch(1024, p)
+		// ~4800 extra warp instructions between the two runs; any per-
+		// instruction allocation shows up as thousands of extra objects.
+		if delta := long - short; delta > 1 {
+			t.Errorf("policy %s: longer kernel allocates %.1f more objects per launch (short %.1f, long %.1f); issue path is allocating per instruction",
+				name, delta, short, long)
+		}
 	}
 }

@@ -215,11 +215,16 @@ func (g *GPU) LaunchContext(ctx context.Context, k *Kernel, opts LaunchOpts) (*s
 	simMet := metrics.ForSim(opts.Metrics)
 	execMet := metrics.ForExec(opts.Metrics)
 	dmrMet := metrics.ForDMR(opts.Metrics, g.Cfg.WarpSize, g.Cfg.ClusterSize)
+	// Resolve the protection policy once per launch, against the real
+	// kernel name (NewEngine compiled it with an empty name). PolicyFull
+	// compiles to nil, leaving the issue path byte-identical.
+	pol := core.CompilePolicy(g.Cfg.Policy, k.Prog.Name)
 	for i := range sms {
 		sms[i] = newSM(i, g, comp, opts.Fault, onError)
 		sms[i].met = simMet
 		sms[i].machine.SetMetrics(execMet)
 		sms[i].engine.SetMetrics(dmrMet)
+		sms[i].engine.SetPolicy(pol)
 		perSM[i] = sms[i].stats()
 	}
 	if opts.TrackRAW {

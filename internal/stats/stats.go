@@ -173,6 +173,13 @@ type Stats struct {
 	VerifiedInter int64 // thread-instructions verified by inter-warp DMR
 	EligibleTI    int64 // thread-instructions eligible for DMR (non-CTRL)
 
+	// Selective-protection accounting (docs/POLICIES.md). Skipped
+	// instructions remain in EligibleTI, so Coverage() reflects the
+	// policy's choices; with no sampling DMR configured,
+	// ProtectedTI + SkippedTI == EligibleTI.
+	ProtectedTI int64 // thread-instructions the protection policy admitted
+	SkippedTI   int64 // thread-instructions the protection policy skipped
+
 	// Warped-DMR overhead accounting (Fig. 9b).
 	StallReplayQFull int64 // stalls because ReplayQ was full, same type
 	StallRAWUnverif  int64 // stalls to verify a RAW-depended entry
@@ -217,6 +224,17 @@ func (s *Stats) Coverage() float64 {
 		return 0
 	}
 	return float64(s.VerifiedIntra+s.VerifiedInter) / float64(s.EligibleTI)
+}
+
+// ProtectedFraction returns the fraction (0..1) of eligible
+// thread-instructions the protection policy admitted for verification.
+// Under the default Full policy this is 1 whenever anything was
+// eligible.
+func (s *Stats) ProtectedFraction() float64 {
+	if s.EligibleTI == 0 {
+		return 0
+	}
+	return float64(s.ProtectedTI) / float64(s.EligibleTI)
 }
 
 // IPC returns warp-instructions per cycle.
@@ -296,6 +314,8 @@ func (s *Stats) Merge(o *Stats) {
 	s.VerifiedIntra += o.VerifiedIntra
 	s.VerifiedInter += o.VerifiedInter
 	s.EligibleTI += o.EligibleTI
+	s.ProtectedTI += o.ProtectedTI
+	s.SkippedTI += o.SkippedTI
 	s.StallReplayQFull += o.StallReplayQFull
 	s.StallRAWUnverif += o.StallRAWUnverif
 	s.ReplayCoexec += o.ReplayCoexec

@@ -6,10 +6,13 @@
 //	docscheck -jobspecs docs/SERVICE.md   # validate documented job specs
 //
 // In markdown mode every inline link target that is not an external
-// URL or a pure in-page anchor must resolve to an existing file or
-// directory, relative to the markdown file that references it.
-// Fragments are stripped before the existence check. Exit status is
-// non-zero if any link is broken, with one diagnostic per offender.
+// URL must resolve to an existing file or directory, relative to the
+// markdown file that references it. Anchor fragments — both pure
+// in-page "#section" links and "file.md#section" cross-references —
+// must additionally match a heading in the target document, using the
+// GitHub slug algorithm (lowercased, punctuation stripped, spaces to
+// hyphens, "-N" suffixes on duplicates). Exit status is non-zero if
+// any link is broken, with one diagnostic per offender.
 //
 // In -jsonl mode every non-empty line must parse as a JSON object —
 // the shape the metrics Snapshot.WriteJSONL and the JSONL trace writer
@@ -32,6 +35,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 
 	"warped/internal/service"
 )
@@ -87,7 +91,8 @@ func external(target string) bool {
 	return false
 }
 
-// checkMarkdown returns one message per broken local link in path.
+// checkMarkdown returns one message per broken local link or dangling
+// anchor in path.
 func checkMarkdown(path string) ([]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -97,22 +102,106 @@ func checkMarkdown(path string) ([]string, error) {
 	var errs []string
 	for i, line := range strings.Split(string(data), "\n") {
 		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
-			target := m[1]
-			if external(target) || strings.HasPrefix(target, "#") {
+			target, frag := m[1], ""
+			if external(target) {
 				continue
 			}
-			if frag := strings.IndexByte(target, '#'); frag >= 0 {
-				target = target[:frag]
+			if j := strings.IndexByte(target, '#'); j >= 0 {
+				target, frag = target[:j], target[j+1:]
 			}
-			if target == "" {
+			doc := path // pure "#frag" links resolve against this file
+			if target != "" {
+				doc = filepath.Join(dir, target)
+				if _, err := os.Stat(doc); err != nil {
+					errs = append(errs, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+					continue
+				}
+			}
+			if frag == "" || !strings.HasSuffix(doc, ".md") {
 				continue
 			}
-			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
-				errs = append(errs, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+			anchors, err := anchorsOf(doc)
+			if err != nil {
+				errs = append(errs, fmt.Sprintf("%s:%d: %v", path, i+1, err))
+				continue
+			}
+			if !anchors[frag] {
+				errs = append(errs, fmt.Sprintf("%s:%d: dangling anchor %q", path, i+1, m[1]))
 			}
 		}
 	}
 	return errs, nil
+}
+
+// anchorCache memoizes heading-anchor sets per markdown file, since
+// several documents cross-link the same targets.
+var anchorCache = map[string]map[string]bool{}
+
+// anchorsOf returns the set of valid anchor slugs in the markdown file
+// at path.
+func anchorsOf(path string) (map[string]bool, error) {
+	if a, ok := anchorCache[path]; ok {
+		return a, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := headingAnchors(string(data))
+	anchorCache[path] = a
+	return a, nil
+}
+
+// headingAnchors slugs every ATX heading in a markdown document the
+// way GitHub's renderer does: lowercase, keep only letters, digits,
+// hyphens and underscores, spaces become hyphens, and repeated slugs
+// get "-1", "-2", ... suffixes. Headings inside fenced code blocks
+// are not anchors.
+func headingAnchors(doc string) map[string]bool {
+	anchors := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		hashes := len(trimmed) - len(strings.TrimLeft(trimmed, "#"))
+		if hashes < 1 || hashes > 6 || !strings.HasPrefix(trimmed[hashes:], " ") {
+			continue
+		}
+		slug := slugify(strings.TrimSpace(trimmed[hashes:]))
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors
+}
+
+// headingLinkRE reduces an inline link in a heading to its text, which
+// is what GitHub slugs.
+var headingLinkRE = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+
+// slugify converts heading text to its GitHub anchor slug.
+func slugify(text string) string {
+	text = headingLinkRE.ReplaceAllString(text, "$1")
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // jobSpecBlocks extracts the fenced code blocks opened with

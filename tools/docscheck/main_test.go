@@ -17,23 +17,50 @@ func write(t *testing.T, dir, name, content string) string {
 
 func TestCheckMarkdown(t *testing.T) {
 	dir := t.TempDir()
-	write(t, dir, "exists.md", "target")
-	md := write(t, dir, "doc.md", `
+	write(t, dir, "exists.md", "# Title\n\n## Section\ntarget\n")
+	md := write(t, dir, "doc.md", `# Here
 [ok](exists.md) and [ok too](exists.md#section)
 [external](https://example.com/x) [anchor](#here)
 [broken](missing.md) ![img](missing.png)
+[gone](exists.md#nope) [gone too](#nowhere)
 `)
 	errs, err := checkMarkdown(md)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(errs) != 2 {
-		t.Fatalf("want 2 broken links, got %d: %v", len(errs), errs)
+	if len(errs) != 4 {
+		t.Fatalf("want 2 broken links + 2 dangling anchors, got %d: %v", len(errs), errs)
 	}
 	for _, e := range errs {
 		if !filepath.IsAbs(e) && e == "" {
 			t.Errorf("empty diagnostic")
 		}
+	}
+}
+
+// TestHeadingAnchors: the GitHub slug rules the anchor check relies
+// on — punctuation stripped, spaces to hyphens, duplicate suffixes,
+// fenced code blocks skipped, heading links reduced to their text.
+func TestHeadingAnchors(t *testing.T) {
+	doc := "# Policy Contract!\n" +
+		"## `warpsample:1/N` — sampling\n" +
+		"## Repeat\n## Repeat\n" +
+		"## See [the guide](x.md)\n" +
+		"```\n# not a heading\n```\n" +
+		"#nospace is not a heading\n"
+	a := headingAnchors(doc)
+	for _, want := range []string{
+		"policy-contract",
+		"warpsample1n--sampling",
+		"repeat", "repeat-1",
+		"see-the-guide",
+	} {
+		if !a[want] {
+			t.Errorf("anchor %q missing from %v", want, a)
+		}
+	}
+	if a["not-a-heading"] || a["nospace-is-not-a-heading"] {
+		t.Errorf("non-headings slugged: %v", a)
 	}
 }
 
@@ -103,14 +130,17 @@ func TestCheckJobSpecsCatches(t *testing.T) {
 }
 
 // TestCheckJobSpecsRepoDocs: the documented examples in docs/SERVICE.md
-// must validate — the in-process form of the CI docs job.
+// and docs/POLICIES.md must validate — the in-process form of the CI
+// docs job.
 func TestCheckJobSpecsRepoDocs(t *testing.T) {
-	errs, err := checkJobSpecs("../../docs/SERVICE.md")
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range errs {
-		t.Errorf("%s", e)
+	for _, doc := range []string{"../../docs/SERVICE.md", "../../docs/POLICIES.md"} {
+		errs, err := checkJobSpecs(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range errs {
+			t.Errorf("%s", e)
+		}
 	}
 }
 

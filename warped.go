@@ -65,6 +65,11 @@ type (
 	MappingPolicy = arch.MappingPolicy
 	// DMRMode selects which DMR mechanisms are active.
 	DMRMode = arch.DMRMode
+	// Policy selects which eligible instructions the DMR engine
+	// verifies (selective protection; see docs/POLICIES.md).
+	Policy = arch.Policy
+	// PolicyKind is the selective-protection policy family.
+	PolicyKind = arch.PolicyKind
 )
 
 // Mapping policies and DMR modes.
@@ -77,7 +82,19 @@ const (
 	DMRInter       = arch.DMRInter
 	DMRFull        = arch.DMRFull
 	DMRTemporalAll = arch.DMRTemporalAll
+
+	PolicyFull       = arch.PolicyFull
+	PolicyOff        = arch.PolicyOff
+	PolicyPerKernel  = arch.PolicyPerKernel
+	PolicyWarpSample = arch.PolicyWarpSample
+	PolicyActiveMask = arch.PolicyActiveMask
+	PolicyPCRange    = arch.PolicyPCRange
 )
+
+// ParsePolicy parses the protection-policy spelling the CLIs and the
+// warpd job spec use (full, off, kernel:NAME[,..], warpsample:1/N,
+// activemask:MIN, pcrange:LO-HI). See docs/POLICIES.md.
+func ParsePolicy(s string) (Policy, error) { return arch.ParsePolicy(s) }
 
 // PaperConfig returns the baseline machine of the paper's Table 3
 // (30 SMs, 32-wide SIMT, 4-lane clusters) with DMR disabled.
@@ -285,6 +302,13 @@ type RunOption func(*runSpec)
 // WithConfig selects the simulated machine + DMR configuration. The
 // default is WarpedDMRConfig(), the paper's recommended machine.
 func WithConfig(cfg Config) RunOption { return func(s *runSpec) { s.cfg = cfg } }
+
+// WithPolicy selects the selective-protection policy for the run
+// without replacing the rest of the configuration (compose it with
+// WithConfig in either order; the last write to the policy wins). The
+// zero Policy is PolicyFull, the paper's always-on protection. See
+// docs/POLICIES.md for the policy contract.
+func WithPolicy(p Policy) RunOption { return func(s *runSpec) { s.cfg.Policy = p } }
 
 // WithFaults injects faults during the run; each detected mismatch is
 // reported through onError (which may be nil). Fault-injected runs skip
@@ -494,6 +518,12 @@ type (
 	CampaignResult  = experiments.CampaignResult
 	SamplingResult  = experiments.SamplingResult
 	SchedulerResult = experiments.SchedulerResult
+
+	// ParetoSpec configures a selective-protection policy sweep;
+	// ParetoResult holds its coverage-vs-overhead points.
+	ParetoSpec   = experiments.ParetoSpec
+	ParetoPoint  = experiments.ParetoPoint
+	ParetoResult = experiments.ParetoResult
 )
 
 // The Run* functions regenerate the paper's figures.
@@ -507,6 +537,7 @@ var (
 	RunFig10            = experiments.RunFig10
 	RunFig11            = experiments.RunFig11
 	RunCampaign         = experiments.RunCampaign
+	RunPareto           = experiments.RunPareto
 	RunSampling         = experiments.RunSampling
 	RunSchedulerStudy   = experiments.RunSchedulerStudy
 	RunDetectionLatency = experiments.RunDetectionLatency
