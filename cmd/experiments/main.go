@@ -12,6 +12,7 @@
 //	experiments -fig table4
 //	experiments -fig campaign  # seeded fault-injection campaign
 //	experiments -fig pareto    # policy sweep: coverage vs overhead points
+//	experiments -fig vulncheck # static unACE claims vs targeted fault injection
 //	experiments -parallel 4    # cap the worker pool (default GOMAXPROCS)
 //	experiments -csv           # emit CSV instead of aligned text
 package main
@@ -43,11 +44,12 @@ type figure struct {
 
 func main() {
 	var (
-		figID     = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, campaign, pareto, sampling, schedulers, latency); empty = all")
+		figID     = flag.String("fig", "", "figure to regenerate (1, 5, 8a, 8b, 9a, 9b, 10, 11, table4, campaign, pareto, vulncheck, sampling, schedulers, latency); empty = all")
 		csv       = flag.Bool("csv", false, "emit CSV")
 		policies  = flag.String("policies", "", "semicolon-separated protection policies for -fig pareto (default full;warpsample:1/2;warpsample:1/4;activemask:16;off; docs/POLICIES.md)")
 		trials    = flag.Int("trials", 5, "fault-injection trials per (benchmark, policy) cell for -fig pareto; 0 skips the campaign")
 		seed      = flag.Int64("seed", 1, "fault-campaign RNG seed for -fig pareto")
+		synth     = flag.Bool("synth", true, "append vulnerability-synthesized policy rows (full vs synthesized per benchmark, extras included) to -fig pareto")
 		jsonlOut  = flag.String("jsonl", "", "also write the -fig pareto point set as JSON Lines to this file")
 		chart     = flag.Bool("chart", false, "render ASCII charts where available")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulator runs (results are identical at any value)")
@@ -119,7 +121,7 @@ func main() {
 			return experiments.CampaignTable([]*experiments.CampaignResult{r}), nil
 		}, nil},
 		{"pareto", func(ctx context.Context) (*stats.Table, error) {
-			spec, err := paretoSpec(*policies, *trials, *seed)
+			spec, err := paretoSpec(*policies, *trials, *seed, *synth)
 			if err != nil {
 				return nil, err
 			}
@@ -131,6 +133,15 @@ func main() {
 				if err := writeParetoJSONL(r, *jsonlOut); err != nil {
 					return nil, err
 				}
+			}
+			return r.Table(), nil
+		}, nil},
+		{"vulncheck", func(ctx context.Context) (*stats.Table, error) {
+			// A falsified unACE claim is a hard failure: the error lists
+			// every figure-visible injection and the run exits 1.
+			r, err := e.VulnCheck(ctx)
+			if err != nil {
+				return nil, err
 			}
 			return r.Table(), nil
 		}, nil},
@@ -216,11 +227,11 @@ func chartOf(r charter, err error) (string, error) {
 	return r.Chart(), nil
 }
 
-// paretoSpec builds the policy-sweep spec from the -policies, -trials
-// and -seed flags. Policies are semicolon-separated because kernel
-// lists use commas (kernel:BFS,SHA).
-func paretoSpec(policyList string, trials int, seed int64) (experiments.ParetoSpec, error) {
-	spec := experiments.ParetoSpec{Trials: trials, Seed: seed}
+// paretoSpec builds the policy-sweep spec from the -policies, -trials,
+// -seed and -synth flags. Policies are semicolon-separated because
+// kernel lists use commas (kernel:BFS,SHA).
+func paretoSpec(policyList string, trials int, seed int64, synth bool) (experiments.ParetoSpec, error) {
+	spec := experiments.ParetoSpec{Trials: trials, Seed: seed, Synth: synth}
 	if policyList == "" {
 		return spec, nil // Pareto fills in DefaultParetoPolicies
 	}

@@ -10,6 +10,8 @@
 //	warpsim lint             # statically verify every bundled kernel
 //	warpsim lint my.asm      # statically verify kernel files
 //	warpsim lint -json       # findings as a JSON array for CI archiving
+//	warpsim vuln             # ACE/unACE fault-vulnerability analysis
+//	warpsim vuln -json       # per-kernel records as a JSON array
 package main
 
 import (
@@ -38,6 +40,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		os.Exit(runLint(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "vuln" {
+		os.Exit(runVuln(os.Args[2:]))
 	}
 	var (
 		benchName = flag.String("bench", "", "benchmark to run (see -list)")

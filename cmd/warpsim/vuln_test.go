@@ -1,0 +1,139 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything fn printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := new(strings.Builder)
+		_, _ = io.Copy(buf, r)
+		done <- buf.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestRunVulnBundled(t *testing.T) {
+	out := captureStdout(t, func() {
+		if status := runVuln(nil); status != 0 {
+			t.Errorf("runVuln(bundled) = %d, want 0", status)
+		}
+	})
+	// The bundled microbenchmark is the reference workload: its dead
+	// telemetry chain must surface with a non-full synthesized policy.
+	if !strings.Contains(out, "vuln_micro") || !strings.Contains(out, "pcset:vuln_micro@") {
+		t.Errorf("bundled vuln output lacks the vuln_micro pcset policy:\n%s", out)
+	}
+}
+
+// TestRunVulnJSONGolden pins the `warpsim vuln -json` record layout —
+// field order, names and values — for a kernel with one dead
+// instruction. CI validates the same contract with jq; a change here is
+// a change to an archived artifact format and needs a docs update
+// (docs/STATIC_ANALYSIS.md, "The vulnerability domain").
+func TestRunVulnJSONGolden(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "golden.asm")
+	src := `.kernel golden
+.block 32
+	mov r0, %tid.x
+	iadd r1, r0, 1
+	shl r2, r0, 2
+	ld.param r3, [0]
+	iadd r4, r3, r2
+	st.global [r4], r0
+	exit
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if status := runVuln([]string{"-json", path}); status != 0 {
+			t.Errorf("runVuln(-json golden) = %d, want 0", status)
+		}
+	})
+	want := `[
+  {
+    "file": "` + path + `",
+    "kernel": "golden",
+    "pcs": 7,
+    "eligible": 6,
+    "ace": 5,
+    "unace": 1,
+    "unknown": 0,
+    "policy": "pcset:golden@0-0,2-6",
+    "unace_pcs": [
+      {
+        "pc": 1,
+        "line": 4,
+        "reason": "result is dead on every path"
+      }
+    ]
+  }
+]
+`
+	if out != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestRunVulnExitCodes(t *testing.T) {
+	dir := t.TempDir()
+
+	// Unanalyzable: assembles, but static verification fails (r1 read
+	// before any definition), so the liveness pass has no sound CFG.
+	bad := filepath.Join(dir, "bad.asm")
+	if err := os.WriteFile(bad, []byte(".kernel bad\n.reg 4\niadd r0, r1, 1\nexit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if status := runVuln([]string{bad}); status != 1 {
+		t.Errorf("runVuln(unanalyzable) = %d, want 1", status)
+	}
+
+	// Unreadable input is an operational failure: exit 2, mirroring the
+	// lint subcommand's 0/1/2 contract.
+	if status := runVuln([]string{filepath.Join(dir, "missing.asm")}); status != 2 {
+		t.Errorf("runVuln(missing file) = %d, want 2", status)
+	}
+}
+
+func TestRunVulnMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "vuln-metrics.jsonl")
+	captureStdout(t, func() {
+		if status := runVuln([]string{"-metrics-out", out}); status != 0 {
+			t.Errorf("runVuln(-metrics-out) = %d, want 0", status)
+		}
+	})
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"dmr.vuln.analyses_total",
+		"dmr.vuln.ace_pcs_total",
+		"dmr.vuln.unace_pcs_total",
+		"dmr.vuln.policies_synthesized_total",
+	} {
+		if !strings.Contains(string(data), name) {
+			t.Errorf("metrics snapshot lacks %s:\n%s", name, data)
+		}
+	}
+}

@@ -39,6 +39,13 @@ const (
 	// [Policy.PCLo, Policy.PCHi] — region protection for a kernel's
 	// vulnerable phase.
 	PolicyPCRange
+	// PolicyPCSet protects the union of the PC ranges in
+	// Policy.PCRanges, optionally scoped to one kernel (other kernels
+	// stay fully protected). This is the spelling SynthesizePolicy
+	// emits when a kernel's unACE PCs punch holes in the middle of the
+	// program, where a single pcrange interval cannot express the
+	// protected complement.
+	PolicyPCSet
 )
 
 func (k PolicyKind) String() string {
@@ -55,6 +62,8 @@ func (k PolicyKind) String() string {
 		return "activemask"
 	case PolicyPCRange:
 		return "pcrange"
+	case PolicyPCSet:
+		return "pcset"
 	default:
 		return fmt.Sprintf("PolicyKind(%d)", int(k))
 	}
@@ -88,6 +97,14 @@ type Policy struct {
 	PCLo int
 	PCHi int
 
+	// PCRanges/PCKernel (PolicyPCSet): protect instructions whose PC
+	// lies in any [lo, hi] pair of PCRanges. When PCKernel is non-empty
+	// the set applies only to that kernel and every other kernel stays
+	// fully protected — the scoping SynthesizePolicy needs so a policy
+	// derived from one kernel's liveness never weakens its neighbours.
+	PCRanges [][2]int
+	PCKernel string
+
 	// Kernels/Exclude (PolicyPerKernel): the kernel names the policy
 	// selects. Exclude false protects exactly the listed kernels;
 	// Exclude true protects everything except them.
@@ -104,6 +121,7 @@ type Policy struct {
 //	warpsample:1/N[+PHASE]
 //	activemask:MIN
 //	pcrange:LO-HI
+//	pcset:[KERNEL@]LO-HI[,LO-HI...]
 func (p Policy) String() string {
 	switch p.Kind {
 	case PolicyFull:
@@ -125,6 +143,20 @@ func (p Policy) String() string {
 		return fmt.Sprintf("activemask:%d", p.MinActive)
 	case PolicyPCRange:
 		return fmt.Sprintf("pcrange:%d-%d", p.PCLo, p.PCHi)
+	case PolicyPCSet:
+		var b strings.Builder
+		b.WriteString("pcset:")
+		if p.PCKernel != "" {
+			b.WriteString(p.PCKernel)
+			b.WriteByte('@')
+		}
+		for i, r := range p.PCRanges {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d-%d", r[0], r[1])
+		}
+		return b.String()
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p.Kind))
 	}
@@ -179,8 +211,27 @@ func ParsePolicy(s string) (Policy, error) {
 			return p, fmt.Errorf("arch: policy %q: want pcrange:LO-HI, got %q", s, arg)
 		}
 		p.Kind, p.PCLo, p.PCHi = PolicyPCRange, lo, hi
+	case "pcset":
+		p.Kind = PolicyPCSet
+		ranges := arg
+		if scope, rest, found := strings.Cut(arg, "@"); found {
+			p.PCKernel, ranges = strings.TrimSpace(scope), rest
+		}
+		for _, r := range strings.Split(ranges, ",") {
+			if r = strings.TrimSpace(r); r == "" {
+				continue
+			}
+			lo, hi, ok := cutInt(r, "-")
+			if !ok {
+				return p, fmt.Errorf("arch: policy %q: want pcset:[KERNEL@]LO-HI[,LO-HI...], got range %q", s, r)
+			}
+			p.PCRanges = append(p.PCRanges, [2]int{lo, hi})
+		}
+		if len(p.PCRanges) == 0 {
+			return p, fmt.Errorf("arch: policy %q: pcset needs at least one LO-HI range", s)
+		}
 	default:
-		return p, fmt.Errorf("arch: unknown policy %q (want full, off, kernel:..., warpsample:1/N, activemask:MIN or pcrange:LO-HI)", s)
+		return p, fmt.Errorf("arch: unknown policy %q (want full, off, kernel:..., warpsample:1/N, activemask:MIN, pcrange:LO-HI or pcset:...)", s)
 	}
 	if hasArg && (p.Kind == PolicyFull || p.Kind == PolicyOff) && arg != "" {
 		return p, fmt.Errorf("arch: policy %q takes no argument", kind)
@@ -227,6 +278,38 @@ func (p Policy) Normalized() Policy {
 		out.MinActive = p.MinActive
 	case PolicyPCRange:
 		out.PCLo, out.PCHi = p.PCLo, p.PCHi
+	case PolicyPCSet:
+		out.PCKernel = p.PCKernel
+		out.PCRanges = mergeRanges(p.PCRanges)
+	}
+	return out
+}
+
+// mergeRanges sorts inclusive [lo, hi] ranges and coalesces any that
+// overlap or touch, so every protected-PC set has exactly one spelling.
+// Empty ranges (hi < lo) survive only if nothing absorbs them, which
+// keeps Validate able to reject them.
+func mergeRanges(rs [][2]int) [][2]int {
+	if len(rs) == 0 {
+		return nil
+	}
+	sorted := append([][2]int(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	out := sorted[:1]
+	for _, r := range sorted[1:] {
+		last := &out[len(out)-1]
+		if r[0] <= last[1]+1 {
+			if r[1] > last[1] {
+				last[1] = r[1]
+			}
+			continue
+		}
+		out = append(out, r)
 	}
 	return out
 }
@@ -273,6 +356,16 @@ func (p Policy) Validate() error {
 			return fmt.Errorf("arch: pcrange %d-%d is not a valid PC interval", p.PCLo, p.PCHi)
 		}
 		return nil
+	case PolicyPCSet:
+		if len(p.PCRanges) == 0 {
+			return fmt.Errorf("arch: pcset needs at least one PC range")
+		}
+		for _, r := range p.PCRanges {
+			if r[0] < 0 || r[1] < r[0] {
+				return fmt.Errorf("arch: pcset range %d-%d is not a valid PC interval", r[0], r[1])
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("arch: unknown policy kind %d", int(p.Kind))
 	}
@@ -295,7 +388,7 @@ func (p Policy) ProtectsKernel(name string) bool {
 			}
 		}
 		return listed != p.Exclude
-	case PolicyFull, PolicyWarpSample, PolicyActiveMask, PolicyPCRange:
+	case PolicyFull, PolicyWarpSample, PolicyActiveMask, PolicyPCRange, PolicyPCSet:
 		return true
 	default:
 		return true

@@ -18,6 +18,8 @@ func TestParsePolicyRoundTrip(t *testing.T) {
 		"warpsample:1/4+2",
 		"activemask:16",
 		"pcrange:0-128",
+		"pcset:3-5,9-12",
+		"pcset:vuln_micro@0-10,16-17",
 	} {
 		p, err := ParsePolicy(s)
 		if err != nil {
@@ -44,6 +46,9 @@ func TestParsePolicyAliases(t *testing.T) {
 		{"warpsample:1/4+6", "warpsample:1/4+2"}, // phase wrapped mod N
 		{"active:16", "activemask:16"},
 		{"pc:0-128", "pcrange:0-128"},
+		{"pcset:5-6,0-2,4-4", "pcset:0-2,4-6"},      // sorted, adjacent merged
+		{"pcset:0-8,3-5,6-12", "pcset:0-12"},        // overlaps coalesced
+		{"pcset: K @ 1-2 , 4-5", "pcset:K@1-2,4-5"}, // whitespace trimmed
 	}
 	for _, c := range cases {
 		a, err := ParsePolicy(c[0])
@@ -78,6 +83,11 @@ func TestParsePolicyRejects(t *testing.T) {
 		"pcrange:10-5",
 		"pcrange:-4-2",
 		"pcrange:abc",
+		"pcset:",
+		"pcset:K@",
+		"pcset:10-5",
+		"pcset:0-3,9-7",
+		"pcset:abc",
 	} {
 		if p, err := ParsePolicy(s); err == nil {
 			t.Errorf("ParsePolicy(%q) accepted: %+v", s, p)
@@ -114,6 +124,7 @@ func TestPolicyProtectsKernel(t *testing.T) {
 		{exclude, "BFS", false},
 		{exclude, "MatrixMul", true},
 		{Policy{Kind: PolicyWarpSample, SampleN: 4}, "anything", true},
+		{Policy{Kind: PolicyPCSet, PCRanges: [][2]int{{0, 4}}, PCKernel: "BFS"}, "SHA", true},
 	}
 	for _, c := range cases {
 		if got := c.p.ProtectsKernel(c.name); got != c.want {

@@ -55,6 +55,11 @@ func CompilePolicy(p arch.Policy, kernel string) ProtectionPolicy {
 		return activeMaskPolicy{min: p.MinActive}
 	case arch.PolicyPCRange:
 		return pcRangePolicy{lo: p.PCLo, hi: p.PCHi}
+	case arch.PolicyPCSet:
+		if p.PCKernel != "" && p.PCKernel != kernel {
+			return nil // the set is scoped to another kernel: full protection
+		}
+		return pcSetPolicy{ranges: p.PCRanges}
 	default: // future kinds default to full protection
 		return nil
 	}
@@ -83,3 +88,23 @@ func (p activeMaskPolicy) Protect(f PolicyFacts) bool { return f.Active >= p.min
 type pcRangePolicy struct{ lo, hi int }
 
 func (p pcRangePolicy) Protect(f PolicyFacts) bool { return f.PC >= p.lo && f.PC <= p.hi }
+
+// pcSetPolicy protects a union of PC ranges — the compiled form of a
+// vulnerability-synthesized policy. Ranges arrive normalized (sorted,
+// disjoint) from arch.Policy.Normalized, so a linear scan with an
+// early exit is the whole decision; kernel programs are short enough
+// (tens of instructions, a handful of ranges) that this beats a
+// per-launch bitmap while allocating nothing.
+type pcSetPolicy struct{ ranges [][2]int }
+
+func (p pcSetPolicy) Protect(f PolicyFacts) bool {
+	for _, r := range p.ranges {
+		if f.PC < r[0] {
+			return false
+		}
+		if f.PC <= r[1] {
+			return true
+		}
+	}
+	return false
+}

@@ -21,6 +21,7 @@ func TestCompilePolicyDegeneratesToNil(t *testing.T) {
 		{"kernel not excluded", arch.Policy{Kind: arch.PolicyPerKernel, Kernels: []string{"other"}, Exclude: true}, "K"},
 		{"1/1 sampling", arch.Policy{Kind: arch.PolicyWarpSample, SampleN: 1}, "K"},
 		{"activemask 1", arch.Policy{Kind: arch.PolicyActiveMask, MinActive: 1}, "K"},
+		{"pcset scoped elsewhere", arch.Policy{Kind: arch.PolicyPCSet, PCRanges: [][2]int{{0, 4}}, PCKernel: "other"}, "K"},
 	}
 	for _, c := range cases {
 		if got := CompilePolicy(c.p, c.kernel); got != nil {
@@ -68,5 +69,19 @@ func TestCompilePolicyDecisions(t *testing.T) {
 		if got := pr.Protect(PolicyFacts{PC: c.pc}); got != c.want {
 			t.Errorf("pcrange:4-8 Protect(pc=%d) = %v, want %v", c.pc, got, c.want)
 		}
+	}
+
+	set := arch.Policy{Kind: arch.PolicyPCSet, PCRanges: [][2]int{{0, 2}, {6, 8}}, PCKernel: "K"}
+	ps := CompilePolicy(set, "K")
+	for _, c := range []struct {
+		pc   int
+		want bool
+	}{{0, true}, {2, true}, {3, false}, {5, false}, {6, true}, {8, true}, {9, false}} {
+		if got := ps.Protect(PolicyFacts{PC: c.pc}); got != c.want {
+			t.Errorf("pcset:K@0-2,6-8 Protect(pc=%d) = %v, want %v", c.pc, got, c.want)
+		}
+	}
+	if unscoped := CompilePolicy(arch.Policy{Kind: arch.PolicyPCSet, PCRanges: [][2]int{{1, 1}}}, "K"); unscoped == nil {
+		t.Error("unscoped pcset must apply to every kernel, not compile to nil")
 	}
 }

@@ -193,7 +193,11 @@ func (e *Engine) Campaign(ctx context.Context, benchName string, n int, seed int
 func (e *Engine) CampaignConfig(ctx context.Context, benchName string, cfg arch.Config, n int, seed int64) (*CampaignResult, error) {
 	b, err := kernels.ByName(benchName)
 	if err != nil {
-		return nil, err
+		// Extras campaign too: the synthesized-policy sweep validates its
+		// reference microbenchmark the same way as the paper suite.
+		if b, err = kernels.ExtraByName(benchName); err != nil {
+			return nil, err
+		}
 	}
 	// Bias toward hardware the workload actually exercises: the block
 	// dispatcher fills low-numbered SMs first, and low result bits

@@ -7,8 +7,11 @@ import (
 	"io"
 
 	"warped/internal/arch"
+	"warped/internal/kernels"
+	"warped/internal/runner"
 	"warped/internal/sim"
 	"warped/internal/stats"
+	"warped/internal/verify"
 )
 
 // ParetoSpec configures a coverage-vs-overhead policy sweep.
@@ -26,6 +29,14 @@ type ParetoSpec struct {
 	// fault sequence from (Seed, Trials) alone, so every policy sees the
 	// same faults and detection rates are directly comparable.
 	Seed int64
+
+	// Synth adds a vulnerability-synthesized section to the sweep: for
+	// every benchmark (the Table 4 suite plus the extras), the policy
+	// SynthesizePolicy derives from the static unACE analysis of its
+	// kernels, paired with a full-protection point of the same benchmark
+	// so the two are directly comparable. With Trials > 0 both points
+	// run the campaign on identical fault sequences.
+	Synth bool
 }
 
 // DefaultParetoPolicies returns the sweep the Pareto figure plots by
@@ -68,6 +79,13 @@ type ParetoResult struct {
 	Points   []ParetoPoint // len(Names) * len(Policies)
 	Trials   int
 	Seed     int64
+
+	// Synth is the vulnerability-synthesized section (ParetoSpec.Synth):
+	// two points per benchmark of SynthNames — full protection, then the
+	// policy synthesized from the static unACE analysis — over the
+	// Table 4 suite plus the extras.
+	SynthNames []string
+	Synth      []ParetoPoint // len(SynthNames) * 2
 }
 
 // Point returns the cell for benchmark bi and policy pi.
@@ -154,7 +172,113 @@ func (e *Engine) Pareto(ctx context.Context, spec ParetoSpec) (*ParetoResult, er
 			}
 		}
 	}
+
+	if spec.Synth {
+		bs := append(append([]*kernels.Benchmark{}, kernels.All()...), kernels.Extras()...)
+		names, points, err := e.synthSweep(ctx, bs, spec.Trials, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r.SynthNames, r.Synth = names, points
+	}
 	return r, nil
+}
+
+// synthSweep runs the vulnerability-synthesized section of the Pareto
+// sweep over bs: per benchmark, a full-protection point and a point
+// with the policy SynthesizePolicy derives from the static unACE
+// analysis of the benchmark's kernels (the first non-full policy among
+// them, or full when every kernel is fully ACE). The runGrid fan-out
+// only covers the paper suite, so this section runs its own grid —
+// benchmarks × {DMR-off, full, synthesized} — through the pool.
+func (e *Engine) synthSweep(ctx context.Context, bs []*kernels.Benchmark, trials int, seed int64) ([]string, []ParetoPoint, error) {
+	policies := make([]arch.Policy, len(bs))
+	names := make([]string, len(bs))
+	for bi, b := range bs {
+		names[bi] = b.Name
+		policies[bi] = arch.Policy{Kind: arch.PolicyFull}
+		progs, err := benchPrograms(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: synth sweep %s: %w", b.Name, err)
+		}
+		for _, p := range progs {
+			rep, err := verify.AnalyzeVuln(p)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: synth sweep %s: kernel %s: %w", b.Name, p.Name, err)
+			}
+			if pol := arch.SynthesizePolicy(p.Name, len(p.Instrs), rep.UnACEPCs()); pol.Kind != arch.PolicyFull {
+				policies[bi] = pol
+				break
+			}
+		}
+	}
+
+	// Fault-free grid: per benchmark a DMR-off overhead baseline, the
+	// full-protection reference, and the synthesized policy.
+	cfgOf := func(bi, ci int) arch.Config {
+		switch ci {
+		case 0:
+			return arch.PaperConfig()
+		case 1:
+			return arch.WarpedDMRConfig()
+		default:
+			cfg := arch.WarpedDMRConfig()
+			cfg.Policy = policies[bi]
+			return cfg
+		}
+	}
+	res, err := runner.Map(ctx, e.pool(), len(bs)*3, func(ctx context.Context, i int) (*stats.Stats, error) {
+		bi := i / 3
+		g, err := sim.New(cfgOf(bi, i%3), bs[bi].GPUMemBytes())
+		if err != nil {
+			return nil, err
+		}
+		return kernels.ExecuteContext(ctx, g, bs[bi], sim.LaunchOpts{Metrics: e.Metrics})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	points := make([]ParetoPoint, 0, len(bs)*2)
+	for bi := range bs {
+		base := res[bi*3]
+		for ci := 1; ci <= 2; ci++ {
+			st := res[bi*3+ci]
+			pol := arch.Policy{Kind: arch.PolicyFull}
+			if ci == 2 {
+				pol = policies[bi]
+			}
+			pt := ParetoPoint{
+				Benchmark:  names[bi],
+				Policy:     pol.String(),
+				Coverage:   st.Coverage(),
+				Protected:  st.ProtectedFraction(),
+				Cycles:     st.Cycles,
+				BaseCycles: base.Cycles,
+			}
+			if base.Cycles > 0 {
+				pt.Overhead = float64(st.Cycles)/float64(base.Cycles) - 1
+			}
+			points = append(points, pt)
+		}
+	}
+
+	if trials > 0 {
+		for bi := range bs {
+			for ci := 1; ci <= 2; ci++ {
+				c, err := e.CampaignConfig(ctx, names[bi], cfgOf(bi, ci), trials, seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				pt := &points[bi*2+ci-1]
+				pt.Trials = c.Runs
+				pt.Activated = c.Activated
+				pt.Detected = c.Detected
+				pt.Detection = c.DetectionRate()
+			}
+		}
+	}
+	return names, points, nil
 }
 
 // Table renders the sweep, one row per (benchmark, policy) cell.
@@ -167,19 +291,24 @@ func (r *ParetoResult) Table() *stats.Table {
 		Title:   "Pareto sweep: DMR coverage vs cycle overhead per protection policy",
 		Headers: headers,
 	}
+	addPoint := func(p *ParetoPoint) {
+		row := []string{p.Benchmark, p.Policy, pct(p.Coverage), pct(p.Protected), pct(p.Overhead)}
+		if r.Trials > 0 {
+			row = append(row,
+				fmt.Sprintf("%d", p.Trials),
+				fmt.Sprintf("%d", p.Activated),
+				fmt.Sprintf("%d", p.Detected),
+				pct(p.Detection))
+		}
+		t.AddRow(row...)
+	}
 	for bi := range r.Names {
 		for pi := range r.Policies {
-			p := r.Point(bi, pi)
-			row := []string{p.Benchmark, p.Policy, pct(p.Coverage), pct(p.Protected), pct(p.Overhead)}
-			if r.Trials > 0 {
-				row = append(row,
-					fmt.Sprintf("%d", p.Trials),
-					fmt.Sprintf("%d", p.Activated),
-					fmt.Sprintf("%d", p.Detected),
-					pct(p.Detection))
-			}
-			t.AddRow(row...)
+			addPoint(r.Point(bi, pi))
 		}
+	}
+	for i := range r.Synth {
+		addPoint(&r.Synth[i])
 	}
 	return t
 }
@@ -190,6 +319,11 @@ func (r *ParetoResult) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for i := range r.Points {
 		if err := enc.Encode(&r.Points[i]); err != nil {
+			return err
+		}
+	}
+	for i := range r.Synth {
+		if err := enc.Encode(&r.Synth[i]); err != nil {
 			return err
 		}
 	}

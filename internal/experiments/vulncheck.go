@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"warped/internal/arch"
+	"warped/internal/fault"
+	"warped/internal/isa"
+	"warped/internal/kernels"
+	"warped/internal/metrics"
+	"warped/internal/runner"
+	"warped/internal/sim"
+	"warped/internal/stats"
+	"warped/internal/verify"
+)
+
+// vulnCheckBits are the output bits flipped at each statically-unACE
+// PC: both ends of the word plus two interior bits, so a liveness bug
+// that only masks low bits (a bad AND/shift transfer) cannot hide.
+var vulnCheckBits = []uint{0, 7, 19, 31}
+
+// VulnCheckRow is one kernel's cross-validation outcome.
+type VulnCheckRow struct {
+	Benchmark string
+	Kernel    string
+
+	// Static classification over the kernel's PCs.
+	PCs, Eligible, ACE, UnACE, Unknown int
+
+	// Policy is the protection policy synthesized from the unACE PCs.
+	Policy string
+
+	// Injections counts fault-injected runs performed (unACE PCs ×
+	// vulnCheckBits); Visible counts the injections whose corruption
+	// reached the workload's output or its figure-feeding statistics.
+	// Any Visible > 0 falsifies the static analysis and fails the run.
+	Injections int
+	Visible    int
+
+	// SkippedFrac is SkippedTI/EligibleTI with the synthesized policy
+	// armed under the recommended Warped-DMR machine (0 when the policy
+	// is full: nothing to skip).
+	SkippedFrac float64
+}
+
+// VulnCheckResult is the static-vs-empirical cross-validation of the
+// fault-vulnerability analysis over every bundled benchmark.
+type VulnCheckResult struct {
+	Rows []VulnCheckRow
+}
+
+// Failed reports whether any injection at a statically-unACE PC was
+// architecturally visible — a falsified unACE claim.
+func (r *VulnCheckResult) Failed() bool {
+	for _, row := range r.Rows {
+		if row.Visible > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunVulnCheck runs the cross-validation on the default Engine.
+func RunVulnCheck() (*VulnCheckResult, error) {
+	return defaultEngine.VulnCheck(context.Background())
+}
+
+// VulnCheck cross-validates the static fault-vulnerability analysis
+// against targeted fault injection, benchmark by benchmark (the Table 4
+// suite plus the extras). For every kernel it runs verify.AnalyzeVuln,
+// then corrupts each statically-unACE PC at every dynamic execution
+// (all lanes, one bit at a time) and requires the workload to still
+// validate against its host reference with statistics identical to a
+// fault-free baseline — i.e. the corruption must be invisible to every
+// figure the repository generates. It returns an error if any unACE
+// claim is falsified. The SkippedFrac column measures what the
+// synthesized policy saves under the recommended Warped-DMR machine.
+func (e *Engine) VulnCheck(ctx context.Context) (*VulnCheckResult, error) {
+	bs := append(append([]*kernels.Benchmark{}, kernels.All()...), kernels.Extras()...)
+	vm := metrics.ForVuln(e.Metrics)
+	out := &VulnCheckResult{}
+	var violations []string
+	for _, b := range bs {
+		rows, errs, err := e.vulnCheckBenchmark(ctx, b, vm)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: vulncheck %s: %w", b.Name, err)
+		}
+		out.Rows = append(out.Rows, rows...)
+		violations = append(violations, errs...)
+	}
+	if len(violations) > 0 {
+		return out, fmt.Errorf("experiments: vulncheck: %d statically-unACE PC(s) produced figure-visible corruption:\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+	return out, nil
+}
+
+// benchPrograms builds b on a scratch GPU and returns its distinct
+// kernel programs in launch order.
+func benchPrograms(b *kernels.Benchmark) ([]*isa.Program, error) {
+	g, err := sim.New(arch.PaperConfig(), b.GPUMemBytes())
+	if err != nil {
+		return nil, err
+	}
+	run, err := b.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	var progs []*isa.Program
+	seen := map[string]bool{}
+	for _, step := range run.Steps {
+		p := step.Kernel.Prog
+		if p == nil || seen[p.Name] {
+			continue
+		}
+		seen[p.Name] = true
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+// vulnCheckBenchmark cross-validates one benchmark; it returns one row
+// per kernel and a violation message per falsified unACE claim.
+func (e *Engine) vulnCheckBenchmark(ctx context.Context, b *kernels.Benchmark, vm *metrics.Vuln) ([]VulnCheckRow, []string, error) {
+	progs, err := benchPrograms(b)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Fault-free baseline: the statistics every figure derives from.
+	// Injection runs must reproduce these exactly.
+	baseCfg := arch.PaperConfig()
+	g, err := sim.New(baseCfg, b.GPUMemBytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	baseline, err := kernels.ExecuteContext(ctx, g, b, sim.LaunchOpts{Metrics: e.Metrics})
+	if err != nil {
+		return nil, nil, fmt.Errorf("fault-free baseline: %w", err)
+	}
+
+	type injection struct {
+		kernel string
+		pc     int
+		bit    uint
+	}
+	var rows []VulnCheckRow
+	var jobs []injection
+	rowOf := map[string]int{}
+	for _, p := range progs {
+		r, err := verify.AnalyzeVuln(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kernel %s: %w", p.Name, err)
+		}
+		vm.Analyses.Inc()
+		vm.ACEPCs.Add(int64(r.ACE))
+		vm.UnACEPCs.Add(int64(r.UnACE))
+		vm.UnknownPCs.Add(int64(r.Unknown))
+		policy := arch.SynthesizePolicy(p.Name, len(p.Instrs), r.UnACEPCs())
+		if policy.Kind != arch.PolicyFull {
+			vm.Synthesized.Inc()
+		}
+		rowOf[p.Name] = len(rows)
+		rows = append(rows, VulnCheckRow{
+			Benchmark: b.Name, Kernel: p.Name,
+			PCs: len(r.PCs), Eligible: r.EligiblePCs,
+			ACE: r.ACE, UnACE: r.UnACE, Unknown: r.Unknown,
+			Policy: policy.String(),
+		})
+		for _, pc := range r.UnACEPCs() {
+			for _, bit := range vulnCheckBits {
+				jobs = append(jobs, injection{p.Name, pc, bit})
+			}
+		}
+	}
+
+	// Fan the targeted injections out across the pool. visible[i] is a
+	// violation message, or "" when the corruption stayed masked.
+	visible, err := runner.Map(ctx, e.pool(), len(jobs), func(ctx context.Context, i int) (string, error) {
+		job := jobs[i]
+		inj := fault.NewPCInjector(job.kernel, job.pc, job.bit)
+		g, err := sim.New(baseCfg, b.GPUMemBytes())
+		if err != nil {
+			return "", err
+		}
+		st, err := kernels.ExecuteContext(ctx, g, b, sim.LaunchOpts{Fault: inj, Metrics: e.Metrics})
+		if err != nil {
+			if ctx.Err() != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%s %s pc=%d bit=%d: %v", b.Name, job.kernel, job.pc, job.bit, err), nil
+		}
+		cp := *st
+		cp.FaultsActivated, cp.FaultsDetected = 0, 0
+		if !reflect.DeepEqual(&cp, baseline) {
+			return fmt.Sprintf("%s %s pc=%d bit=%d: statistics diverged from the fault-free baseline",
+				b.Name, job.kernel, job.pc, job.bit), nil
+		}
+		return "", nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var violations []string
+	for i, v := range visible {
+		job := jobs[i]
+		rows[rowOf[job.kernel]].Injections++
+		if v != "" {
+			rows[rowOf[job.kernel]].Visible++
+			violations = append(violations, v)
+		}
+	}
+
+	// Measure what each non-full synthesized policy actually skips under
+	// the recommended Warped-DMR machine.
+	for ri := range rows {
+		if rows[ri].Policy == "full" {
+			continue
+		}
+		p, err := arch.ParsePolicy(rows[ri].Policy)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := arch.WarpedDMRConfig()
+		cfg.Policy = p
+		g, err := sim.New(cfg, b.GPUMemBytes())
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := kernels.ExecuteContext(ctx, g, b, sim.LaunchOpts{Metrics: e.Metrics})
+		if err != nil {
+			return nil, nil, fmt.Errorf("synthesized-policy run: %w", err)
+		}
+		if st.EligibleTI > 0 {
+			rows[ri].SkippedFrac = float64(st.SkippedTI) / float64(st.EligibleTI)
+		}
+	}
+	return rows, violations, nil
+}
+
+// Table renders the cross-validation, one row per kernel.
+func (r *VulnCheckResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title:   "Vulnerability cross-check: static unACE claims vs targeted fault injection",
+		Headers: []string{"benchmark", "kernel", "pcs", "eligible", "ace", "unace", "unknown", "policy", "injections", "visible", "skipped"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Benchmark, row.Kernel,
+			fmt.Sprintf("%d", row.PCs),
+			fmt.Sprintf("%d", row.Eligible),
+			fmt.Sprintf("%d", row.ACE),
+			fmt.Sprintf("%d", row.UnACE),
+			fmt.Sprintf("%d", row.Unknown),
+			row.Policy,
+			fmt.Sprintf("%d", row.Injections),
+			fmt.Sprintf("%d", row.Visible),
+			pct(row.SkippedFrac))
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"testing"
+
+	"warped/internal/isa"
+	"warped/internal/sim"
+)
+
+// PCInjector must satisfy the simulator's PC-targeted hook so launches
+// route the primary execution path through PerturbAt.
+var _ sim.PCFaultHook = (*PCInjector)(nil)
+
+func TestPCInjectorTargetsOnePC(t *testing.T) {
+	inj := NewPCInjector("k", 7, 3)
+	if v, ok := inj.PerturbAt(0, 10, "k", 7, 5, isa.UnitSP, 0); !ok || v != 1<<3 {
+		t.Errorf("matching (kernel, pc) must flip bit 3: got %#x, %v", v, ok)
+	}
+	if v, ok := inj.PerturbAt(0, 10, "k", 6, 5, isa.UnitSP, 0); ok || v != 0 {
+		t.Errorf("wrong pc must pass through: got %#x, %v", v, ok)
+	}
+	if v, ok := inj.PerturbAt(0, 10, "other", 7, 5, isa.UnitSP, 0); ok || v != 0 {
+		t.Errorf("wrong kernel must pass through: got %#x, %v", v, ok)
+	}
+	if inj.Activations != 1 {
+		t.Errorf("Activations = %d, want 1", inj.Activations)
+	}
+	inj.Reset()
+	if inj.Activations != 0 {
+		t.Errorf("Reset left Activations = %d", inj.Activations)
+	}
+}
+
+func TestPCInjectorLaneScope(t *testing.T) {
+	inj := &PCInjector{Kernel: "k", PC: 0, Lane: 4, Bit: 0}
+	if _, ok := inj.PerturbAt(0, 0, "k", 0, 4, isa.UnitSP, 0); !ok {
+		t.Error("targeted lane must fire")
+	}
+	if _, ok := inj.PerturbAt(0, 0, "k", 0, 5, isa.UnitSP, 0); ok {
+		t.Error("other lanes must not fire when Lane >= 0")
+	}
+	all := NewPCInjector("k", 0, 0)
+	for lane := 0; lane < 32; lane++ {
+		if _, ok := all.PerturbAt(0, 0, "k", 0, lane, isa.UnitSP, 0); !ok {
+			t.Fatalf("Lane -1 must fire on lane %d", lane)
+		}
+	}
+}
+
+func TestPCInjectorKernelWildcard(t *testing.T) {
+	inj := NewPCInjector("", 2, 31)
+	if _, ok := inj.PerturbAt(0, 0, "anything", 2, 0, isa.UnitSFU, 0); !ok {
+		t.Error("empty Kernel must match every kernel")
+	}
+}
+
+func TestPCInjectorPlainPerturbIsInert(t *testing.T) {
+	inj := NewPCInjector("k", 0, 0)
+	const golden = 0xdeadbeef
+	if v, ok := inj.Perturb(0, 0, 0, isa.UnitSP, golden); ok || v != golden {
+		t.Errorf("Perturb must pass golden through: got %#x, %v", v, ok)
+	}
+	if inj.Activations != 0 {
+		t.Errorf("inert path counted an activation")
+	}
+}

@@ -317,6 +317,7 @@ func TestKernelDisassemblyRoundTrips(t *testing.T) {
 		"reduce":    reduceSrc,
 		"transpose": transposeSrc,
 		"histogram": histogramSrc,
+		"vulnMicro": vulnMicroSrc,
 	}
 	for name, src := range sources {
 		t.Run(name, func(t *testing.T) {
@@ -342,6 +343,39 @@ func TestKernelDisassemblyRoundTrips(t *testing.T) {
 				t.Errorf("register counts differ: %d vs %d", p1.NumRegs, p2.NumRegs)
 			}
 		})
+	}
+}
+
+// TestKernelDisassemblyFixpoint: over every bundled source (the same
+// set LintAll covers, so nothing can drift out of the round-trip net),
+// the disassembly must be a fixpoint — reassembling a kernel's
+// disassembly and disassembling again yields byte-identical text. This
+// pins the disassembler as a canonical spelling of the program.
+func TestKernelDisassemblyFixpoint(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Sources() {
+		p1, err := asm.Assemble(s.Src)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", s.File, err)
+		}
+		if seen[p1.Name] {
+			continue
+		}
+		seen[p1.Name] = true
+		t.Run(p1.Name, func(t *testing.T) {
+			d1 := p1.Disassemble()
+			p2, err := asm.Assemble(d1)
+			if err != nil {
+				t.Fatalf("reassemble: %v", err)
+			}
+			if d2 := p2.Disassemble(); d1 != d2 {
+				t.Errorf("disassembly is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", d1, d2)
+			}
+		})
+	}
+	// The net must actually cover the full bundled set, extras included.
+	if !seen["vuln_micro"] {
+		t.Error("Sources() is missing the vuln_micro extra")
 	}
 }
 

@@ -13,8 +13,8 @@ import (
 // count must match the benchmark suite's kernel inventory.
 func TestSourcesComplete(t *testing.T) {
 	srcs := Sources()
-	if len(srcs) != 16 {
-		t.Fatalf("Sources() = %d entries, want 16", len(srcs))
+	if len(srcs) != 17 {
+		t.Fatalf("Sources() = %d entries, want 17", len(srcs))
 	}
 	seen := map[string]bool{}
 	for _, s := range srcs {

@@ -47,6 +47,7 @@ func buildSources() []Source {
 		{"internal/kernels/scan.go", scanBlockSrc},
 		{"internal/kernels/scan.go", scanAddSrc},
 		{"internal/kernels/sha.go", shaSrc},
+		{"internal/kernels/vulnmicro.go", vulnMicroSrc},
 	}
 	out := make([]Source, 0, len(list))
 	for _, e := range list {

@@ -1,0 +1,33 @@
+package kernels
+
+import (
+	"testing"
+
+	"warped/internal/asm"
+	"warped/internal/verify"
+)
+
+// TestVulnAnalysisRunsOnAllKernels pins that every bundled kernel is
+// analyzable by the fault-vulnerability pass: each verifies clean (a
+// precondition the analysis enforces) and yields a classification for
+// every PC, with no eligible PC left unknown in reachable code.
+func TestVulnAnalysisRunsOnAllKernels(t *testing.T) {
+	for _, src := range Sources() {
+		src := src
+		t.Run(src.Name, func(t *testing.T) {
+			prog, err := asm.Assemble(src.Src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			r, err := verify.AnalyzeVuln(prog)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if len(r.PCs) != len(prog.Instrs) {
+				t.Fatalf("classified %d of %d PCs", len(r.PCs), len(prog.Instrs))
+			}
+			t.Logf("%s: %d eligible PCs: %d ACE, %d unACE, %d unknown; unACE PCs %v",
+				src.Name, r.EligiblePCs, r.ACE, r.UnACE, r.Unknown, r.UnACEPCs())
+		})
+	}
+}

@@ -176,6 +176,35 @@ func ForDMR(r *Registry, warpSize, clusterSize int) *DMR {
 	return m
 }
 
+// Vuln is the pre-resolved instrument set of the static fault-
+// vulnerability (ACE) analysis. The analysis itself is pure; the CLIs
+// and harnesses that drive it observe each kernel's classification
+// here. A Vuln built from a nil registry no-ops throughout.
+type Vuln struct {
+	// Analyses counts kernels analyzed; the three PC counters accumulate
+	// their per-class totals over eligible (DMR-verifiable) PCs.
+	Analyses   *Counter
+	ACEPCs     *Counter
+	UnACEPCs   *Counter
+	UnknownPCs *Counter
+
+	// Synthesized counts protection policies derived from unACE PC
+	// lists that actually skip something (a full policy is not counted).
+	Synthesized *Counter
+}
+
+// ForVuln resolves the vulnerability-analysis instrument set against r
+// (nil-safe).
+func ForVuln(r *Registry) *Vuln {
+	return &Vuln{
+		Analyses:    r.Counter("dmr.vuln.analyses_total"),
+		ACEPCs:      r.Counter("dmr.vuln.ace_pcs_total"),
+		UnACEPCs:    r.Counter("dmr.vuln.unace_pcs_total"),
+		UnknownPCs:  r.Counter("dmr.vuln.unknown_pcs_total"),
+		Synthesized: r.Counter("dmr.vuln.policies_synthesized_total"),
+	}
+}
+
 // Run is the pre-resolved instrument set of the run-orchestration
 // worker pool (internal/runner). A Run built from a nil registry
 // no-ops throughout.

@@ -138,8 +138,9 @@ type FaultDef struct {
 // specVersion is baked into the canonical form so that any future
 // change to job semantics (new field, different default) changes every
 // hash instead of silently aliasing old cached results. v2 added the
-// selective-protection policy to the canonical config.
-const specVersion = 2
+// selective-protection policy to the canonical config; v3 added the
+// pcset policy kind (multi-range, kernel-scoped) to the policy shape.
+const specVersion = 3
 
 // canonicalJob is the fully-resolved form a job is hashed and executed
 // from: presets applied, defaults materialized, random faults drawn,

@@ -59,6 +59,9 @@ func TestLaunchSteadyStateZeroAllocs(t *testing.T) {
 	policies := map[string]arch.Policy{
 		"full":           {},
 		"warpsample:1/2": {Kind: arch.PolicyWarpSample, SampleN: 2},
+		// The shape vulnerability synthesis emits: a multi-range pcset
+		// whose per-issue decision is a linear scan, not a lookup table.
+		"pcset": {Kind: arch.PolicyPCSet, PCRanges: [][2]int{{0, 2}, {5, 9}}},
 	}
 	for name, p := range policies {
 		short := perLaunch(64, p)

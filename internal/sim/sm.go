@@ -28,6 +28,19 @@ type FaultHook interface {
 	Perturb(smID int, cycle int64, physLane int, unit isa.UnitClass, golden uint32) (uint32, bool)
 }
 
+// PCFaultHook is the optional program-targeted extension of FaultHook:
+// a hook that also implements it receives the kernel name and the PC of
+// the issuing instruction on the primary execution path, so a fault can
+// be pinned to one static instruction. The vulncheck experiment uses
+// this to corrupt exactly the PCs the static analysis claims are unACE.
+// The engine's redundant-execution path keeps calling plain Perturb —
+// PC targeting is a property of the architectural instruction stream,
+// not of the verification replay.
+type PCFaultHook interface {
+	FaultHook
+	PerturbAt(smID int, cycle int64, kernel string, pc, physLane int, unit isa.UnitClass, golden uint32) (uint32, bool)
+}
+
 // warpCtx is one resident warp: architectural state plus scoreboard.
 type warpCtx struct {
 	ws    exec.WarpState // control, registers, memories
@@ -75,6 +88,8 @@ type sm struct {
 	laneFor  [32]uint8  // thread slot -> physical lane (pre-resolved mapping)
 	segBuf   [32]uint32 // scratch for segBases
 	issueNow int64      // cycle of the in-flight Machine.Step (fault hook)
+	issuePC  int        // PC of the in-flight Machine.Step (PC-targeted faults)
+	kName    string     // kernel name, for PCFaultHook targeting
 
 	met *metrics.Sim // never nil; shared across the launch's SMs
 }
@@ -90,11 +105,19 @@ func newSM(id int, g *GPU, comp *exec.Compiled, fault FaultHook, onError func(co
 	if g.Cfg.ModelCaches {
 		s.l1 = cache.New(g.Cfg.L1)
 	}
+	s.kName = comp.Prog().Name
 	var perturb exec.Perturb
 	if fault != nil {
+		pcHook, _ := fault.(PCFaultHook)
 		perturb = func(thread int, unit isa.UnitClass, golden uint32) uint32 {
 			lane := int(s.laneFor[thread])
-			v, changed := fault.Perturb(s.id, s.issueNow, lane, unit, golden)
+			var v uint32
+			var changed bool
+			if pcHook != nil {
+				v, changed = pcHook.PerturbAt(s.id, s.issueNow, s.kName, s.issuePC, lane, unit, golden)
+			} else {
+				v, changed = fault.Perturb(s.id, s.issueNow, lane, unit, golden)
+			}
 			if changed {
 				s.st.FaultsActivated++
 			}
@@ -508,6 +531,7 @@ func (s *sm) pick(sched int, now int64) *warpCtx {
 
 func (s *sm) issue(wc *warpCtx, sched int, now int64) {
 	s.issueNow = now
+	s.issuePC = wc.ws.Ctl.PC()
 	rec, err := s.machine.Step(&wc.ws)
 	if err != nil {
 		s.err = fmt.Errorf("sm%d block %d warp %d: %w", s.id, wc.block.id, wc.ws.Ctl.ID, err)

@@ -89,6 +89,7 @@ const (
 	PolicyWarpSample = arch.PolicyWarpSample
 	PolicyActiveMask = arch.PolicyActiveMask
 	PolicyPCRange    = arch.PolicyPCRange
+	PolicyPCSet      = arch.PolicyPCSet
 )
 
 // ParsePolicy parses the protection-policy spelling the CLIs and the
@@ -233,6 +234,41 @@ func Verify(p *Program) Findings { return verify.Check(p) }
 
 // VerifyWith runs the static verifier with explicit options.
 func VerifyWith(p *Program, opt VerifyOptions) Findings { return verify.CheckWith(p, opt) }
+
+// Fault-vulnerability analysis types, re-exported from internal/verify.
+// See docs/STATIC_ANALYSIS.md, "The vulnerability domain".
+type (
+	// VulnReport classifies every PC of a kernel as ACE, unACE or
+	// unknown under the execution-unit fault model.
+	VulnReport = verify.VulnReport
+	// PCVuln is one instruction's vulnerability classification.
+	PCVuln = verify.PCVuln
+	// VulnClass is the ACE/unACE/unknown classification.
+	VulnClass = verify.VulnClass
+)
+
+// Vulnerability classes.
+const (
+	VulnUnknown = verify.VulnUnknown
+	VulnACE     = verify.VulnACE
+	VulnUnACE   = verify.VulnUnACE
+)
+
+// AnalyzeVulnerability runs the static fault-vulnerability (ACE)
+// analysis over an assembled kernel: a backward liveness dataflow with
+// masking-aware transfers that proves, per instruction, whether a fault
+// in its computed result can ever reach architecturally visible state.
+// Instructions proven unACE are safe to exclude from DMR protection;
+// feed the report's UnACEPCs to SynthesizePolicy for that.
+func AnalyzeVulnerability(p *Program) (*VulnReport, error) { return verify.AnalyzeVuln(p) }
+
+// SynthesizePolicy converts a kernel's statically-unACE PC list into
+// the cheapest protection policy that still verifies every ACE
+// instruction (see docs/POLICIES.md, "Synthesized policies"). n is the
+// kernel's instruction count.
+func SynthesizePolicy(kernel string, n int, unACE []int) Policy {
+	return arch.SynthesizePolicy(kernel, n, unACE)
+}
 
 // NewParams builds a kernel parameter block from 32-bit words.
 func NewParams(words ...uint32) *mem.Params { return mem.NewParams(words...) }
