@@ -25,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"warped/internal/service"
@@ -81,14 +82,28 @@ type Client struct {
 
 	// PollInterval is Wait's status-poll cadence (default 50ms).
 	PollInterval time.Duration
+
+	// RequestTimeout, when positive, bounds each individual HTTP
+	// exchange (connect + request + response body) via a per-request
+	// deadline, independent of the caller's ctx and of the underlying
+	// http.Client.Timeout. A coordinator probing a dead worker wants a
+	// tight bound here without capping total job wall time.
+	RequestTimeout time.Duration
 }
 
 // New builds a client for the daemon at base (e.g.
-// "http://localhost:8080").
+// "http://localhost:8080"). A trailing slash on base is tolerated.
 func New(base string) *Client {
+	return NewWithHTTPClient(base, &http.Client{Timeout: 30 * time.Second})
+}
+
+// NewWithHTTPClient builds a client that performs its exchanges on hc,
+// so a pool of clients (one per cluster worker) can share one
+// transport and its connection pool instead of dialing per worker.
+func NewWithHTTPClient(base string, hc *http.Client) *Client {
 	return &Client{
-		base:         base,
-		http:         &http.Client{Timeout: 30 * time.Second},
+		base:         strings.TrimRight(base, "/"),
+		http:         hc,
 		MaxRetries:   5,
 		Backoff:      100 * time.Millisecond,
 		PollInterval: 50 * time.Millisecond,
@@ -186,23 +201,43 @@ func (c *Client) Result(ctx context.Context, id string) (*ResultResponse, error)
 }
 
 // Wait polls until the job finishes and returns its result; a failed
-// job returns the daemon's error as *APIError.
+// job returns the daemon's error as *APIError. A 429 answer to the
+// status poll (a loaded daemon shedding read traffic) is not fatal:
+// Wait honors its Retry-After and keeps polling. The loop is bounded
+// only by ctx — cancelling it returns promptly from inside any backoff
+// sleep.
 func (c *Client) Wait(ctx context.Context, id string) (*ResultResponse, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
 	for {
-		st, err := c.Status(ctx, id)
+		resp, err := c.get(ctx, "/v1/jobs/"+id)
 		if err != nil {
 			return nil, err
 		}
-		switch st.Status {
-		case "done":
-			return c.Result(ctx, id)
-		case "failed":
-			return nil, &APIError{StatusCode: http.StatusInternalServerError,
-				Message: fmt.Sprintf("job %s failed: %s", id, st.Error)}
+		switch resp.code {
+		case http.StatusOK:
+			var st StatusResponse
+			if err := json.Unmarshal(resp.body, &st); err != nil {
+				return nil, fmt.Errorf("client: decoding status: %w", err)
+			}
+			switch st.Status {
+			case "done":
+				return c.Result(ctx, id)
+			case "failed":
+				return nil, &APIError{StatusCode: http.StatusInternalServerError,
+					Message: fmt.Sprintf("job %s failed: %s", id, st.Error)}
+			}
+		case http.StatusTooManyRequests:
+			if d := resp.retryAfter; d > 0 {
+				if err := sleep(ctx, d); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		default:
+			return nil, &APIError{StatusCode: resp.code, Message: resp.errMsg()}
 		}
 		if err := sleep(ctx, interval); err != nil {
 			return nil, err
@@ -275,6 +310,11 @@ func (c *Client) get(ctx context.Context, path string) (*reply, error) {
 }
 
 func (c *Client) do(req *http.Request) (*reply, error) {
+	if c.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(req.Context(), c.RequestTimeout)
+		defer cancel()
+		req = req.WithContext(ctx)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err

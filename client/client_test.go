@@ -1,0 +1,155 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestNewTrailingSlash: a base URL with a trailing slash must produce
+// the same request paths as one without — "http://host/" used to yield
+// "//jobs" paths, which some routers 404 or redirect.
+func TestNewTrailingSlash(t *testing.T) {
+	var gotPath atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath.Store(r.URL.Path)
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(map[string]string{"id": "j0", "status": "done"})
+	}))
+	defer ts.Close()
+
+	for _, base := range []string{ts.URL, ts.URL + "/", ts.URL + "///"} {
+		c := New(base)
+		if _, err := c.Status(context.Background(), "j0"); err != nil {
+			t.Fatalf("Status with base %q: %v", base, err)
+		}
+		if p := gotPath.Load().(string); p != "/v1/jobs/j0" {
+			t.Errorf("base %q produced path %q, want /v1/jobs/j0", base, p)
+		}
+	}
+}
+
+// TestWaitHonors429RetryAfter: a loaded daemon may 429 the status
+// poll; Wait must sleep the advertised Retry-After and keep polling
+// instead of failing the wait.
+func TestWaitHonors429RetryAfter(t *testing.T) {
+	var polls atomic.Int32
+	var retryAfterSeen atomic.Int64 // ns between the 429 and the next poll
+	var rejectedAt atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/j1":
+			switch polls.Add(1) {
+			case 1:
+				rejectedAt.Store(time.Now().UnixNano())
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusTooManyRequests)
+				_ = json.NewEncoder(w).Encode(map[string]string{"error": "shedding load"})
+			default:
+				retryAfterSeen.CompareAndSwap(0, time.Now().UnixNano()-rejectedAt.Load())
+				_ = json.NewEncoder(w).Encode(map[string]string{"id": "j1", "status": "done"})
+			}
+		case "/v1/jobs/j1/result":
+			_ = json.NewEncoder(w).Encode(map[string]any{"id": "j1", "stats": map[string]any{}})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.PollInterval = time.Millisecond
+	res, err := c.Wait(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("Wait through a 429: %v", err)
+	}
+	if res.ID != "j1" {
+		t.Errorf("result ID = %s, want j1", res.ID)
+	}
+	if got := time.Duration(retryAfterSeen.Load()); got < 900*time.Millisecond {
+		t.Errorf("repoll after %v, want >= ~1s (the advertised Retry-After)", got)
+	}
+}
+
+// TestWaitContextCancellable: cancelling the context returns promptly
+// from Wait — including from inside a Retry-After backoff — and the
+// polling goroutine does not leak past the return.
+func TestWaitContextCancellable(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Forever running, with a long advertised backoff: the only way
+		// out is the caller's context.
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "busy"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { _, err := c.Wait(ctx, "j2"); done <- err }()
+
+	// Let Wait enter the backoff sleep, then cancel.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Wait after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not return within 2s of cancellation: poll goroutine leaked")
+	}
+}
+
+// TestRequestTimeout: the per-request deadline bounds one exchange
+// even when the caller's context has no deadline.
+func TestRequestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := New(ts.URL)
+	c.RequestTimeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := c.Status(context.Background(), "j3")
+	if err == nil {
+		t.Fatal("Status against a hung server returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("request took %v, want ~50ms (RequestTimeout)", elapsed)
+	}
+}
+
+// TestSharedHTTPClient: NewWithHTTPClient routes exchanges through the
+// caller's client, so a worker pool shares one transport.
+func TestSharedHTTPClient(t *testing.T) {
+	var calls atomic.Int32
+	rt := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		calls.Add(1)
+		return nil, errors.New("sentinel transport")
+	})
+	hc := &http.Client{Transport: rt}
+	a := NewWithHTTPClient("http://a", hc)
+	b := NewWithHTTPClient("http://b/", hc)
+	_, _ = a.Status(context.Background(), "x")
+	_, _ = b.Status(context.Background(), "x")
+	if calls.Load() != 2 {
+		t.Errorf("shared transport saw %d calls, want 2", calls.Load())
+	}
+	if b.Base() != "http://b" {
+		t.Errorf("Base() = %q, want trailing slash trimmed", b.Base())
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }

@@ -10,10 +10,20 @@
 //
 // Identical jobs are executed once: duplicates coalesce onto the
 // in-flight execution and completed results are served from an
-// LRU-bounded cache. A full queue answers 429 with Retry-After;
-// SIGTERM/SIGINT drains gracefully — admission stops, /readyz flips
-// to 503, queued and in-flight jobs finish, metrics flush, then the
-// process exits. See docs/SERVICE.md for the API reference.
+// LRU-bounded cache, optionally backed by a durable on-disk store
+// (-store-dir) that survives restarts. A full queue answers 429 with
+// Retry-After; SIGTERM/SIGINT drains gracefully — admission stops,
+// /readyz flips to 503, queued and in-flight jobs finish, metrics
+// flush, then the process exits. See docs/SERVICE.md for the API
+// reference.
+//
+// With -coordinator, warpd instead runs as a cluster coordinator: it
+// serves the same job API but executes nothing itself, consistent-
+// hashing each job across the given pool of warpd workers with
+// cluster-wide coalescing, hedged retries, and worker health
+// tracking. See docs/CLUSTER.md.
+//
+//	warpd -addr :9090 -coordinator http://w1:8080,http://w2:8080 -store-dir /var/lib/warpd
 package main
 
 import (
@@ -25,11 +35,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"warped/internal/cluster"
 	"warped/internal/metrics"
 	"warped/internal/service"
+	"warped/internal/store"
 )
 
 func main() {
@@ -41,33 +54,71 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 2*time.Minute, "per-job wall-clock budget (0 = unlimited)")
 		drainWait  = flag.Duration("drain-timeout", 5*time.Minute, "max wait for in-flight jobs on shutdown")
 		metricsTo  = flag.String("metrics-out", "", "write the final metrics snapshot as JSON Lines to this file")
+
+		coordinator = flag.String("coordinator", "", "run as a cluster coordinator over this comma-separated worker URL pool")
+		storeDir    = flag.String("store-dir", "", "durable result store directory (worker and coordinator modes; empty = memory only)")
+		storeMax    = flag.Int64("store-max-bytes", 0, "store size bound before LRU GC (0 = 1GiB default)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "coordinator: hedge a dispatch to the next ring node after this long (0 = off)")
+		probeEvery  = flag.Duration("probe-interval", 2*time.Second, "coordinator: worker readiness probe cadence")
+		vnodes      = flag.Int("vnodes", cluster.DefaultVNodes, "coordinator: virtual nodes per worker on the hash ring")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cacheSize, *jobTimeout, *drainWait, *metricsTo); err != nil {
+
+	reg := metrics.New()
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMax, Metrics: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warpd: opening store: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var d daemon
+	if *coordinator != "" {
+		d = cluster.New(cluster.Options{
+			Workers:       strings.Split(*coordinator, ","),
+			VNodes:        *vnodes,
+			Store:         st,
+			Metrics:       reg,
+			HedgeAfter:    *hedgeAfter,
+			ProbeInterval: *probeEvery,
+		})
+	} else {
+		d = service.New(service.Options{
+			Workers:      *workers,
+			QueueDepth:   *queue,
+			CacheEntries: *cacheSize,
+			JobTimeout:   *jobTimeout,
+			Store:        st,
+			Metrics:      reg,
+		})
+	}
+
+	if err := run(d, reg, *addr, *drainWait, *metricsTo); err != nil {
 		fmt.Fprintf(os.Stderr, "warpd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, cacheSize int, jobTimeout, drainWait time.Duration, metricsTo string) error {
+// daemon is what run serves: both the single-node service and the
+// cluster coordinator mount an http.Handler and drain gracefully.
+type daemon interface {
+	Handler() http.Handler
+	Drain(context.Context) error
+}
+
+func run(d daemon, reg *metrics.Registry, addr string, drainWait time.Duration, metricsTo string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	reg := metrics.New()
-	srv := service.New(service.Options{
-		Workers:      workers,
-		QueueDepth:   queue,
-		CacheEntries: cacheSize,
-		JobTimeout:   jobTimeout,
-		Metrics:      reg,
-	})
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           d.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	serveErr := make(chan error, 1)
@@ -93,7 +144,7 @@ func run(addr string, workers, queue, cacheSize int, jobTimeout, drainWait time.
 		drainCtx, tcancel = context.WithTimeout(drainCtx, drainWait)
 		defer tcancel()
 	}
-	drainErr := srv.Drain(drainCtx)
+	drainErr := d.Drain(drainCtx)
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "warpd: http shutdown: %v\n", err)
 	}

@@ -1,0 +1,187 @@
+// Package cluster is the distributed tier of warpd: a coordinator
+// that consistent-hashes content-addressed job specs across a pool of
+// warpd workers, speaking the existing HTTP protocol on both sides —
+// callers submit to the coordinator exactly as they would to a single
+// daemon, and the coordinator dispatches to workers through the same
+// typed client everyone else uses.
+//
+// The shard key is free: every job is already addressed by the
+// SHA-256 of its canonical spec (internal/service), so placement is a
+// pure function of the work itself. Identical submissions from any
+// number of callers land on the same ring position, coalesce onto one
+// dispatch, and share one durable store entry. See docs/CLUSTER.md
+// for topology, hedging policy, and failure modes.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each member is
+// hashed onto the ring at VNodes points; a key is served by the first
+// member clockwise from the key's own hash. Membership changes move
+// only the keys adjacent to the changed member's points — the property
+// that makes worker ejection/readmission cheap. All methods are safe
+// for concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]bool
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultVNodes is the virtual-node count per member when the caller
+// does not choose one: enough to keep the keyspace split within a few
+// percent of fair for small pools, cheap enough to rebuild on every
+// membership change.
+const DefaultVNodes = 64
+
+// NewRing builds an empty ring; vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// hashKey positions a key (or a member's vnode label) on the ring:
+// the first 8 bytes of its SHA-256, the same primitive as the job
+// content address, so placement is stable across processes and builds.
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[node] {
+		return
+	}
+	r.members[node] = true
+	r.rebuildLocked()
+}
+
+// Remove deletes a member (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[node] {
+		return
+	}
+	delete(r.members, node)
+	r.rebuildLocked()
+}
+
+// Has reports membership.
+func (r *Ring) Has(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[node]
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Nodes returns the members, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var nodes []string
+	for n := range r.members {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// rebuildLocked regenerates the sorted vnode points. Caller holds r.mu.
+func (r *Ring) rebuildLocked() {
+	var nodes []string
+	for n := range r.members {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	r.points = r.points[:0]
+	buf := make([]byte, 0, 80)
+	for _, n := range nodes {
+		for i := 0; i < r.vnodes; i++ {
+			buf = append(buf[:0], n...)
+			buf = append(buf, '#')
+			buf = appendInt(buf, i)
+			r.points = append(r.points, ringPoint{hash: hashKey(string(buf)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// appendInt appends the decimal form of i (avoiding fmt on the rebuild
+// path).
+func appendInt(buf []byte, i int) []byte {
+	if i == 0 {
+		return append(buf, '0')
+	}
+	var tmp [20]byte
+	pos := len(tmp)
+	for i > 0 {
+		pos--
+		tmp[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(buf, tmp[pos:]...)
+}
+
+// Pick returns the member serving key — the first vnode clockwise from
+// the key's hash. ok is false on an empty ring.
+func (r *Ring) Pick(key string) (node string, ok bool) {
+	nodes := r.Successors(key, 1)
+	if len(nodes) == 0 {
+		return "", false
+	}
+	return nodes[0], true
+}
+
+// Successors returns up to n distinct members in ring order starting
+// at key's position: the primary first, then the failover candidates a
+// hedged retry walks. n <= 0 or n > members returns every member.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Pick("anything"); ok {
+		t.Error("Pick on an empty ring reported ok")
+	}
+	if s := r.Successors("anything", 3); s != nil {
+		t.Errorf("Successors on an empty ring = %v, want nil", s)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	build := func() *Ring {
+		r := NewRing(64)
+		// Insertion order must not matter.
+		for _, n := range []string{"w2", "w0", "w1"} {
+			r.Add(n)
+		}
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%064x", i)
+		na, _ := a.Pick(key)
+		nb, _ := b.Pick(key)
+		if na != nb {
+			t.Fatalf("key %d placed on %s and %s by identical rings", i, na, nb)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(64)
+	workers := []string{"w0", "w1", "w2", "w3"}
+	for _, w := range workers {
+		r.Add(w)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		n, ok := r.Pick(fmt.Sprintf("%064x", i))
+		if !ok {
+			t.Fatal("Pick failed on a populated ring")
+		}
+		counts[n]++
+	}
+	// Every worker takes a real share: no worker starved, none past
+	// double its fair share. 64 vnodes keeps a 4-node ring well inside
+	// these bounds.
+	fair := keys / len(workers)
+	for _, w := range workers {
+		if counts[w] < fair/2 || counts[w] > fair*2 {
+			t.Errorf("worker %s serves %d of %d keys (fair %d): imbalanced", w, counts[w], keys, fair)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("%064x", i)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 3) = %v", key, succ)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("Successors(%q, 3) repeats %s: %v", key, n, succ)
+			}
+			seen[n] = true
+		}
+		if primary, _ := r.Pick(key); primary != succ[0] {
+			t.Fatalf("Pick(%q) = %s but Successors[0] = %s", key, primary, succ[0])
+		}
+		// Asking past the member count returns everyone, once.
+		if all := r.Successors(key, 99); len(all) != 5 {
+			t.Fatalf("Successors(%q, 99) = %d nodes, want all 5", key, len(all))
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyOrphanedKeys: ejecting one node relocates its
+// keys and ONLY its keys — consistent hashing's reason to exist.
+func TestRingRemoveMovesOnlyOrphanedKeys(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	const keys = 1000
+	before := make([]string, keys)
+	for i := range before {
+		before[i], _ = r.Pick(fmt.Sprintf("%064x", i))
+	}
+	r.Remove("w2")
+	for i := range before {
+		after, _ := r.Pick(fmt.Sprintf("%064x", i))
+		if before[i] == "w2" {
+			if after == "w2" {
+				t.Fatalf("key %d still on the removed node", i)
+			}
+		} else if after != before[i] {
+			t.Fatalf("key %d moved %s -> %s though its node stayed", i, before[i], after)
+		}
+	}
+	// Readmission restores the original placement exactly.
+	r.Add("w2")
+	for i := range before {
+		after, _ := r.Pick(fmt.Sprintf("%064x", i))
+		if after != before[i] {
+			t.Fatalf("key %d on %s after readmission, originally %s", i, after, before[i])
+		}
+	}
+}
+
+func TestRingMembershipOps(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("a") // idempotent
+	r.Add("b")
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Nodes = %v, want [a b]", got)
+	}
+	if !r.Has("a") || r.Has("c") {
+		t.Error("Has misreports membership")
+	}
+	r.Remove("c") // idempotent
+	r.Remove("a")
+	if r.Len() != 1 || r.Has("a") {
+		t.Errorf("after Remove: Len=%d Has(a)=%v", r.Len(), r.Has("a"))
+	}
+}

@@ -120,13 +120,14 @@ type Config struct {
 	// Deterministic lists import paths (exact, or "prefix/..." subtrees)
 	// under the determinism rule. Nil selects the simulator's
 	// deterministic core — internal/{sim,core,exec,simt,isa,mem,fault,
-	// experiments} — plus the CI-artifact producers tools/simlint and
-	// tools/docscheck, whose outputs must be bit-reproducible across
-	// runs for artifact diffing to mean anything.
+	// experiments} — the durable result store internal/store, plus the
+	// CI-artifact producers tools/simlint and tools/docscheck, whose
+	// outputs must be bit-reproducible across runs for artifact diffing
+	// to mean anything.
 	Deterministic []string
 
 	// CtxChecked lists import paths under the ctx-loop rule. Nil selects
-	// internal/runner, internal/sim, internal/service and
+	// internal/{cluster,runner,service,sim,store} and
 	// tools/servicesmoke (which polls a live daemon and must stay
 	// interruptible).
 	CtxChecked []string
@@ -145,7 +146,10 @@ func (c Config) withDefaults(modPath string) Config {
 		c.Patterns = []string{"./..."}
 	}
 	if c.Deterministic == nil {
-		for _, p := range []string{"sim", "core", "exec", "simt", "isa", "mem", "fault", "experiments"} {
+		// internal/store is in here too: the durable result tier keys
+		// GC on a logical clock, never the wall clock, so a store
+		// directory replays identically.
+		for _, p := range []string{"sim", "core", "exec", "simt", "isa", "mem", "fault", "experiments", "store"} {
 			c.Deterministic = append(c.Deterministic, modPath+"/internal/"+p)
 		}
 		for _, p := range []string{"simlint", "docscheck"} {
@@ -154,9 +158,11 @@ func (c Config) withDefaults(modPath string) Config {
 	}
 	if c.CtxChecked == nil {
 		c.CtxChecked = []string{
+			modPath + "/internal/cluster",
 			modPath + "/internal/runner",
-			modPath + "/internal/sim",
 			modPath + "/internal/service",
+			modPath + "/internal/sim",
+			modPath + "/internal/store",
 			modPath + "/tools/servicesmoke",
 		}
 	}

@@ -246,6 +246,106 @@ func ForRunner(r *Registry) *Run {
 	}
 }
 
+// Store is the pre-resolved instrument set of the durable
+// content-addressed result store (internal/store). A Store built from
+// a nil registry no-ops throughout.
+type Store struct {
+	// Read outcomes. A hit returns a verified payload; a miss means the
+	// key has no entry; a corruption is an entry that failed hash
+	// re-verification on read and was dropped (the caller sees a miss).
+	Hits        *Counter
+	Misses      *Counter
+	Corruptions *Counter
+
+	// Writes counts payloads durably committed (write-then-rename);
+	// GCEvictions counts entries deleted by the size-bound GC.
+	Writes      *Counter
+	GCEvictions *Counter
+
+	// Entries and Bytes gauge the store's current footprint (payload
+	// files only; in-flight temp files are not counted).
+	Entries *Gauge
+	Bytes   *Gauge
+}
+
+// ForStore resolves the durable-store instrument set against r
+// (nil-safe).
+func ForStore(r *Registry) *Store {
+	return &Store{
+		Hits:        r.Counter("store.hits_total"),
+		Misses:      r.Counter("store.misses_total"),
+		Corruptions: r.Counter("store.corrupt_entries_total"),
+		Writes:      r.Counter("store.writes_total"),
+		GCEvictions: r.Counter("store.gc_evictions_total"),
+		Entries:     r.Gauge("store.entries"),
+		Bytes:       r.Gauge("store.bytes"),
+	}
+}
+
+// Cluster is the pre-resolved instrument set of the coordinator
+// (internal/cluster, cmd/warpd -coordinator). Per-worker dispatch
+// counters are always allocated (with nil entries when the registry is
+// nil), indexed by the worker's position in the configured pool. A
+// Cluster built from a nil registry no-ops throughout.
+type Cluster struct {
+	// RingNodes gauges the healthy workers currently on the hash ring;
+	// its high-water mark is the largest ring the coordinator held.
+	RingNodes *Gauge
+
+	// Submission outcomes, mirroring the service.* vocabulary at the
+	// cluster tier: accepted submissions, in-memory result hits,
+	// durable-store hits, cluster-wide coalesces onto an in-flight
+	// dispatch, and dispatches actually sent to a worker.
+	JobsSubmitted *Counter
+	MemHits       *Counter
+	StoreHits     *Counter
+	Coalesced     *Counter
+	Dispatches    *Counter
+
+	// Failure handling. HedgesFired counts extra dispatches launched by
+	// the latency hedge; Redispatches counts jobs re-sent to the next
+	// ring node after a draining (503), budget-exhausted (429) or dead
+	// worker; JobsFailed counts jobs that exhausted every candidate.
+	HedgesFired  *Counter
+	Redispatches *Counter
+	JobsFailed   *Counter
+
+	// Health tracking: workers ejected from / readmitted to the ring by
+	// the Ready prober (or ejected synchronously by a failed dispatch).
+	Ejections    *Counter
+	Readmissions *Counter
+
+	// WorkerDispatches attributes dispatches (hedges included) to the
+	// worker that received them, by configured pool index.
+	WorkerDispatches []*Counter
+}
+
+// ForCluster resolves the coordinator instrument set against r
+// (nil-safe) for a pool of numWorkers configured workers.
+func ForCluster(r *Registry, numWorkers int) *Cluster {
+	if numWorkers < 0 {
+		numWorkers = 0
+	}
+	m := &Cluster{
+		RingNodes:        r.Gauge("cluster.ring_nodes"),
+		JobsSubmitted:    r.Counter("cluster.jobs_submitted_total"),
+		MemHits:          r.Counter("cluster.cache_hits_total"),
+		StoreHits:        r.Counter("cluster.store_hits_total"),
+		Coalesced:        r.Counter("cluster.coalesced_total"),
+		Dispatches:       r.Counter("cluster.dispatches_total"),
+		HedgesFired:      r.Counter("cluster.hedges_fired_total"),
+		Redispatches:     r.Counter("cluster.redispatches_total"),
+		JobsFailed:       r.Counter("cluster.jobs_failed_total"),
+		Ejections:        r.Counter("cluster.worker_ejections_total"),
+		Readmissions:     r.Counter("cluster.worker_readmissions_total"),
+		WorkerDispatches: make([]*Counter, numWorkers),
+	}
+	for i := range m.WorkerDispatches {
+		m.WorkerDispatches[i] = r.Counter(fmt.Sprintf("cluster.worker.%02d.dispatches_total", i))
+	}
+	return m
+}
+
 // Service is the pre-resolved instrument set of the simulation-as-a-
 // service daemon (internal/service, cmd/warpd). A Service built from a
 // nil registry no-ops throughout.

@@ -15,6 +15,7 @@ import (
 	"warped/internal/metrics"
 	"warped/internal/runner"
 	"warped/internal/stats"
+	"warped/internal/store"
 )
 
 // Typed admission errors, shared with the runner pool so callers (and
@@ -60,6 +61,7 @@ func (st jobState) String() string {
 // in-flight entry and attaches instead of re-simulating.
 type job struct {
 	id       string
+	hash     string // full content hash — the durable-store key
 	canon    *canonicalJob
 	state    jobState
 	result   *JobResult
@@ -91,6 +93,14 @@ type Options struct {
 	// the runner.* pool telemetry and the sim/DMR counters of every
 	// executed job. It is also what GET /debug/metrics serves.
 	Metrics *metrics.Registry
+
+	// Store, when non-nil, is the durable content-addressed result tier
+	// behind the in-memory LRU: completed results are persisted to it,
+	// and a Submit that misses the LRU is answered from it without
+	// re-simulating (docs/CLUSTER.md). Content addressing makes entries
+	// immutable, so a store directory is safe to keep across restarts
+	// and to share between daemons that never run concurrently on it.
+	Store *store.Store
 }
 
 // Server is the simulation-as-a-service engine behind cmd/warpd:
@@ -103,6 +113,7 @@ type Server struct {
 	met      *metrics.Service
 	timeout  time.Duration
 	cacheCap int
+	store    *store.Store // durable tier; nil when not configured
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -125,6 +136,7 @@ func New(opt Options) *Server {
 		met:      metrics.ForService(opt.Metrics),
 		timeout:  opt.JobTimeout,
 		cacheCap: capEntries,
+		store:    opt.Store,
 		jobs:     make(map[string]*job),
 		lru:      list.New(),
 	}
@@ -174,7 +186,8 @@ func (s *Server) Submit(spec *JobSpec) (*SubmitResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	id := IDFromHash(canon.Hash())
+	hash := canon.Hash()
+	id := IDFromHash(hash)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -197,7 +210,22 @@ func (s *Server) Submit(spec *JobSpec) (*SubmitResponse, error) {
 		}
 	}
 
-	j := &job{id: id, canon: canon, state: stateQueued,
+	// The in-memory LRU missed; the durable tier may still hold the
+	// result from a prior process (or an evicted entry). A verified
+	// store payload materializes as a completed job — no simulation.
+	if res := s.storeGet(hash); res != nil {
+		j := &job{id: id, hash: hash, canon: canon, state: stateDone,
+			result: res, done: make(chan struct{})}
+		close(j.done)
+		j.elem = s.lru.PushFront(j)
+		s.jobs[id] = j
+		s.evictLocked()
+		s.met.JobsSubmitted.Inc()
+		s.met.CacheHits.Inc()
+		return &SubmitResponse{ID: id, Status: j.state.String(), Cached: true}, nil
+	}
+
+	j := &job{id: id, hash: hash, canon: canon, state: stateQueued,
 		done: make(chan struct{}), enqueued: time.Now()}
 	err = s.pool.Submit(
 		func() error { return s.runJob(j) },
@@ -293,9 +321,15 @@ func (s *Server) runJob(j *job) error {
 }
 
 // finishJob records the outcome (err may be a *runner.PanicError from
-// an isolated panic), moves the entry into the LRU ring, and enforces
-// the cache bound.
+// an isolated panic), persists a successful result to the durable
+// store, moves the entry into the LRU ring, and enforces the cache
+// bound.
 func (s *Server) finishJob(j *job, err error) {
+	if err == nil {
+		// The pool runs finishJob after runJob on the same worker, so
+		// j.result is stable here; persist outside the server lock.
+		s.storePut(j.hash, j.result)
+	}
 	s.mu.Lock()
 	if err != nil {
 		j.state = stateFailed
@@ -307,14 +341,52 @@ func (s *Server) finishJob(j *job, err error) {
 	s.met.JobsExecuted.Inc()
 	s.met.JobLatencyMS.Observe(time.Since(j.enqueued).Milliseconds())
 	j.elem = s.lru.PushFront(j)
+	s.evictLocked()
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// evictLocked enforces the LRU cache bound. Caller holds s.mu.
+func (s *Server) evictLocked() {
 	for s.lru.Len() > s.cacheCap {
 		oldest := s.lru.Back()
 		s.removeLocked(oldest.Value.(*job))
 		s.met.CacheEvictions.Inc()
 	}
 	s.met.CacheEntries.Set(int64(s.lru.Len()))
-	s.mu.Unlock()
-	close(j.done)
+}
+
+// storeGet reads a verified result from the durable tier; nil on a
+// miss, corruption, or when no store is configured.
+func (s *Server) storeGet(hash string) *JobResult {
+	if s.store == nil {
+		return nil
+	}
+	payload, ok := s.store.Get(hash)
+	if !ok {
+		return nil
+	}
+	var res JobResult
+	if err := json.Unmarshal(payload, &res); err != nil || res.Stats == nil {
+		// A payload that verified but does not decode is a schema drift
+		// artifact (e.g. a store dir from a different build); miss.
+		return nil
+	}
+	return &res
+}
+
+// storePut persists a completed result to the durable tier; best
+// effort — a full disk or unwritable directory degrades the daemon to
+// in-memory caching, it does not fail the job.
+func (s *Server) storePut(hash string, res *JobResult) {
+	if s.store == nil || res == nil {
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	_ = s.store.Put(hash, payload)
 }
 
 // removeLocked drops a completed entry from the map and LRU ring.

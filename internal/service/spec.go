@@ -263,6 +263,20 @@ func IDFromHash(hash string) string {
 	return "j" + hash
 }
 
+// SpecKey canonicalizes spec and returns its full content hash (the
+// coalescing / durable-store key) and the wire job ID derived from it.
+// It is the exported form of the identity computation Submit performs,
+// so a coordinator (internal/cluster) can coalesce and cache on
+// exactly the keys its workers will compute.
+func SpecKey(spec *JobSpec) (hash, id string, err error) {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return "", "", err
+	}
+	hash = canon.Hash()
+	return hash, IDFromHash(hash), nil
+}
+
 // resolve flattens the preset + overrides into a full machine config.
 func (cs *ConfigSpec) resolve() (arch.Config, error) {
 	preset := ""

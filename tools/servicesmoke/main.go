@@ -5,41 +5,71 @@
 // (starting warpd, SIGTERM, asserting a clean exit) stays in the CI
 // shell step; this tool only speaks the API.
 //
+// It also smokes a coordinator (warpd -coordinator), which serves the
+// same API: -expect-healthy asserts the cluster topology settles on N
+// healthy workers (e.g. after SIGTERMing one), -coalesce drives N
+// concurrent identical submissions that must collapse onto one job,
+// -expect-cached asserts the first submission is answered from a
+// prior run's durable store, and -probe-only skips the job entirely.
+//
 // Usage:
 //
 //	servicesmoke -base http://127.0.0.1:PORT
+//	servicesmoke -base http://127.0.0.1:PORT -coalesce 4
+//	servicesmoke -base http://127.0.0.1:PORT -probe-only -expect-healthy 1
+//	servicesmoke -base http://127.0.0.1:PORT -expect-cached
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"warped/client"
 )
 
+// options are the smoke scenario knobs; the zero value (plus a base
+// URL) is the single-daemon happy path.
+type options struct {
+	base          string
+	bench         string
+	timeout       time.Duration
+	expectHealthy int  // -1: skip the topology check
+	coalesce      int  // extra concurrent identical submissions
+	expectCached  bool // first submission must be a (store) cache hit
+	probeOnly     bool // readiness + topology only, no job
+}
+
 func main() {
-	base := flag.String("base", "", "daemon base URL (e.g. http://127.0.0.1:8080)")
-	bench := flag.String("bench", "Reduce", "benchmark to submit")
-	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	var o options
+	flag.StringVar(&o.base, "base", "", "daemon base URL (e.g. http://127.0.0.1:8080)")
+	flag.StringVar(&o.bench, "bench", "Reduce", "benchmark to submit")
+	flag.DurationVar(&o.timeout, "timeout", 2*time.Minute, "overall deadline")
+	flag.IntVar(&o.expectHealthy, "expect-healthy", -1, "wait until the cluster topology reports exactly this many healthy workers (-1 = skip)")
+	flag.IntVar(&o.coalesce, "coalesce", 0, "submit this many extra concurrent identical jobs; all must coalesce onto one ID")
+	flag.BoolVar(&o.expectCached, "expect-cached", false, "require the first submission to be answered from cache (prior run's store)")
+	flag.BoolVar(&o.probeOnly, "probe-only", false, "only check readiness and topology, submit nothing")
 	flag.Parse()
-	if *base == "" {
+	if o.base == "" {
 		fmt.Fprintln(os.Stderr, "servicesmoke: -base is required")
 		os.Exit(2)
 	}
-	if err := run(*base, *bench, *timeout); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "servicesmoke: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("servicesmoke: ok")
 }
 
-func run(base, bench string, timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+func run(o options) error {
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
-	c := client.New(base)
+	c := client.New(o.base)
 
 	// The daemon may still be binding when CI reaches us: poll readiness.
 	for {
@@ -53,6 +83,15 @@ func run(base, bench string, timeout time.Duration) error {
 		}
 	}
 
+	if o.expectHealthy >= 0 {
+		if err := waitHealthy(ctx, o.base, o.expectHealthy); err != nil {
+			return err
+		}
+	}
+	if o.probeOnly {
+		return nil
+	}
+
 	names, err := c.Benchmarks(ctx)
 	if err != nil {
 		return fmt.Errorf("benchmarks: %w", err)
@@ -61,14 +100,45 @@ func run(base, bench string, timeout time.Duration) error {
 		return fmt.Errorf("benchmark list is empty")
 	}
 
-	spec := &client.JobSpec{Benchmark: bench}
+	spec := &client.JobSpec{Benchmark: o.bench}
 	first, err := c.Submit(ctx, spec)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
-	if first.Cached {
-		return fmt.Errorf("first submission of %s answered from cache (%+v): daemon is not fresh", bench, first)
+	switch {
+	case o.expectCached && !first.Cached:
+		return fmt.Errorf("first submission of %s was not served from the store (%+v)", o.bench, first)
+	case !o.expectCached && first.Cached:
+		return fmt.Errorf("first submission of %s answered from cache (%+v): daemon is not fresh", o.bench, first)
 	}
+
+	// Concurrent identical submissions must all collapse onto the same
+	// content address — through a coordinator, onto one dispatch.
+	if o.coalesce > 0 {
+		var wg sync.WaitGroup
+		errs := make([]error, o.coalesce)
+		for i := 0; i < o.coalesce; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r, err := c.Submit(ctx, spec)
+				if err != nil {
+					errs[i] = fmt.Errorf("coalesce submit %d: %w", i, err)
+					return
+				}
+				if r.ID != first.ID {
+					errs[i] = fmt.Errorf("coalesce submit %d got ID %s, want %s", i, r.ID, first.ID)
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+
 	res, err := c.Wait(ctx, first.ID)
 	if err != nil {
 		return fmt.Errorf("wait: %w", err)
@@ -90,6 +160,67 @@ func run(base, bench string, timeout time.Duration) error {
 		return fmt.Errorf("resubmission was not a cache hit: %+v", second)
 	}
 	fmt.Printf("servicesmoke: %s ran in %d cycles, resubmit hit cache (id %s)\n",
-		bench, res.Stats.Cycles, first.ID)
+		o.bench, res.Stats.Cycles, first.ID)
 	return nil
+}
+
+// topology is the slice of GET /v1/cluster this tool asserts on.
+type topology struct {
+	Workers []struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+	} `json:"workers"`
+	RingNodes int `json:"ring_nodes"`
+}
+
+// waitHealthy polls the coordinator's topology until exactly want
+// workers are healthy — how CI asserts a SIGTERMed worker is ejected
+// from the ring (and a recovered one readmitted) within the deadline.
+func waitHealthy(ctx context.Context, base string, want int) error {
+	var last string
+	for {
+		topo, err := fetchTopology(ctx, base)
+		if err == nil {
+			healthy := 0
+			for _, w := range topo.Workers {
+				if w.Healthy {
+					healthy++
+				}
+			}
+			if healthy == want && topo.RingNodes == want {
+				fmt.Printf("servicesmoke: topology settled on %d healthy of %d workers\n",
+					healthy, len(topo.Workers))
+				return nil
+			}
+			last = fmt.Sprintf("%d healthy, ring_nodes %d", healthy, topo.RingNodes)
+		} else {
+			last = err.Error()
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("topology never settled on %d healthy workers (last: %s): %w",
+				want, last, ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func fetchTopology(ctx context.Context, base string) (*topology, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cluster", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/cluster: %s (is -base a coordinator?)", resp.Status)
+	}
+	var topo topology
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		return nil, err
+	}
+	return &topo, nil
 }
